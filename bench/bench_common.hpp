@@ -1,0 +1,104 @@
+// Shared plumbing for the experiment benches (one binary per reconstructed
+// table/figure; see DESIGN.md section 3).
+//
+// Every bench runs argument-free. Sizing comes from the environment:
+//   BNLOC_TRIALS  Monte-Carlo repetitions per configuration (default 12)
+//   BNLOC_NODES   default network size (default 200)
+//   BNLOC_FAST=1  CI-sized run (3 trials, 100 nodes)
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bnloc/bnloc.hpp"
+
+namespace bnloc::bench {
+
+/// The default experiment configuration of the reconstructed evaluation:
+/// line-drop deployment (the canonical "pre-knowledge" scenario), 8%
+/// random anchors, R = 0.12 (average degree ~9 at 200 nodes — the sparse
+/// regime 2007-era WSN localization papers evaluate in), log-normal 10%
+/// ranging noise, exact priors.
+inline ScenarioConfig default_scenario(const BenchConfig& bc) {
+  ScenarioConfig cfg;
+  cfg.node_count = bc.nodes;
+  cfg.anchor_fraction = 0.08;
+  cfg.deployment.kind = DeploymentKind::line_drop;
+  cfg.anchor_placement = AnchorPlacement::random;
+  cfg.radio = make_radio(0.12, RangingType::log_normal, 0.10);
+  cfg.prior_quality = PriorQuality::exact;
+  cfg.seed = 1;
+  return cfg;
+}
+
+inline void print_banner(const char* id, const char* title,
+                         const BenchConfig& bc, const ScenarioConfig& cfg) {
+  std::printf("=== %s: %s ===\n", id, title);
+  std::printf("config: %zu nodes, %.0f%% anchors, R=%.2f, noise=%.0f%% "
+              "(%s), deployment=%s, priors=%s, trials=%zu\n\n",
+              cfg.node_count, cfg.anchor_fraction * 100.0, cfg.radio.range,
+              cfg.radio.ranging.noise_factor * 100.0,
+              cfg.radio.ranging.type == RangingType::log_normal
+                  ? "log-normal"
+                  : "gaussian",
+              to_string(cfg.deployment.kind),
+              to_string(cfg.prior_quality), bc.trials);
+}
+
+/// Standard columns for a comparison table.
+inline AsciiTable make_result_table() {
+  return AsciiTable({"algorithm", "mean/R", "median/R", "rmse/R", "q90/R",
+                     "coverage", "msgs/node", "kB/node", "iters", "ms"});
+}
+
+inline void add_result_row(AsciiTable& table, const AggregateRow& row) {
+  table.add_row({row.algo, AsciiTable::fmt(row.error.mean, 4),
+                 AsciiTable::fmt(row.error.median, 4),
+                 AsciiTable::fmt(row.error.rmse, 4),
+                 AsciiTable::fmt(row.error.q90, 4),
+                 AsciiTable::fmt(row.coverage, 3),
+                 AsciiTable::fmt(row.msgs_per_node, 1),
+                 AsciiTable::fmt(row.bytes_per_node / 1024.0, 2),
+                 AsciiTable::fmt(row.iterations, 1),
+                 AsciiTable::fmt(row.seconds * 1e3, 1)});
+}
+
+/// The lightweight algorithm set used inside parameter sweeps (the grid
+/// engine carries the Bayesian story; gauss is the cheap engine; the rest
+/// are the standard comparators). The particle engine and the one-shot
+/// baselines appear in T1/F8/T10 instead, to keep sweep wall-time sane.
+inline std::vector<std::unique_ptr<Localizer>> sweep_suite() {
+  std::vector<std::unique_ptr<Localizer>> suite;
+  suite.push_back(std::make_unique<GridBncl>());
+  suite.push_back(std::make_unique<GaussianBncl>());
+  suite.push_back(std::make_unique<RefinementLocalizer>());
+  suite.push_back(std::make_unique<DvHopLocalizer>());
+  suite.push_back(std::make_unique<CentroidLocalizer>());
+  return suite;
+}
+
+/// Print a figure as one series block per algorithm: x-value -> mean error.
+struct Series {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> means;
+  std::vector<double> penalized;
+  std::vector<double> coverages;
+};
+
+inline void print_series(const char* x_name, const std::vector<Series>& all) {
+  for (const Series& s : all) {
+    std::printf("series %s\n", s.label.c_str());
+    AsciiTable t({x_name, "mean/R", "penalized/R", "coverage"});
+    for (std::size_t i = 0; i < s.xs.size(); ++i)
+      t.add_row(AsciiTable::fmt(s.xs[i], 3),
+                {s.means[i], s.penalized[i], s.coverages[i]}, 4);
+    t.print(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace bnloc::bench

@@ -1,0 +1,77 @@
+// E13 (extension) — sequential tracking: posterior as next-epoch prior.
+//
+// The forward-looking claim of the pre-knowledge idea: in a drifting
+// network, feeding each epoch's posterior (inflated by the motion model)
+// back in as the next epoch's prior keeps error and iteration counts low
+// and stable, while (a) re-localizing from scratch pays the full bootstrap
+// cost every epoch and (b) clinging to the original deployment priors gets
+// *worse* over time as they go stale.
+#include "bench_common.hpp"
+
+#include "core/tracking.hpp"
+
+using namespace bnloc;
+using namespace bnloc::bench;
+
+int main() {
+  const BenchConfig bc = BenchConfig::from_env();
+  ScenarioConfig base = default_scenario(bc);
+  base.anchor_fraction = 0.06;  // scarce anchors: priors carry the load
+  print_banner("E13", "tracking: posterior as next-epoch pre-knowledge", bc,
+               base);
+
+  const std::size_t epochs = 8;
+  const std::size_t trials = std::max<std::size_t>(3, bc.trials / 2);
+
+  struct ModeStats {
+    const char* label;
+    TrackingPriorMode mode;
+    std::vector<RunningStats> error;
+    std::vector<RunningStats> iters;
+  };
+  std::vector<ModeStats> modes = {
+      {"posterior (warm)", TrackingPriorMode::posterior, {}, {}},
+      {"original (stale)", TrackingPriorMode::original, {}, {}},
+      {"uniform (cold)", TrackingPriorMode::uniform, {}, {}},
+  };
+  for (auto& m : modes) {
+    m.error.resize(epochs);
+    m.iters.resize(epochs);
+  }
+
+  for (auto& m : modes) {
+    for (std::size_t t = 0; t < trials; ++t) {
+      ScenarioConfig cfg = base;
+      cfg.seed = base.seed + t;
+      TrackingConfig tc;
+      tc.epochs = epochs;
+      tc.motion.step_sigma = 0.025;
+      tc.prior_mode = m.mode;
+      Rng rng = make_algo_rng(m.label, cfg.seed);
+      const auto run = run_tracking(cfg, tc, rng);
+      for (std::size_t e = 0; e < epochs; ++e) {
+        m.error[e].add(run[e].mean_error);
+        m.iters[e].add(static_cast<double>(run[e].iterations));
+      }
+    }
+  }
+
+  std::printf("mean error per epoch (/R), drift step = 0.025 field/epoch:\n");
+  AsciiTable t({"epoch", "posterior (warm)", "original (stale)",
+                "uniform (cold)"});
+  for (std::size_t e = 0; e < epochs; ++e)
+    t.add_row(std::to_string(e),
+              {modes[0].error[e].mean(), modes[1].error[e].mean(),
+               modes[2].error[e].mean()}, 4);
+  t.print(std::cout);
+
+  std::printf("\nBP iterations per epoch:\n");
+  AsciiTable it({"epoch", "posterior (warm)", "original (stale)",
+                 "uniform (cold)"});
+  for (std::size_t e = 0; e < epochs; ++e)
+    it.add_row(std::to_string(e),
+               {modes[0].iters[e].mean(), modes[1].iters[e].mean(),
+                modes[2].iters[e].mean()}, 1);
+  it.print(std::cout);
+  return 0;
+}

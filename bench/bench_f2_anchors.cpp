@@ -1,0 +1,54 @@
+// F2 — localization error vs anchor fraction.
+//
+// Reproduced shape: every algorithm improves with more anchors; the
+// Bayesian engine with pre-knowledge degrades most gracefully as anchors
+// get scarce (priors substitute for anchor information), so the gap to the
+// baselines is widest at the left end of the sweep.
+#include "bench_common.hpp"
+
+using namespace bnloc;
+using namespace bnloc::bench;
+
+int main() {
+  const BenchConfig bc = BenchConfig::from_env();
+  ScenarioConfig base = default_scenario(bc);
+  print_banner("F2", "error vs anchor fraction", bc, base);
+
+  const std::vector<double> fractions = {0.04, 0.06, 0.10, 0.15, 0.20, 0.30};
+  auto suite = sweep_suite();
+
+  std::vector<Series> all;
+  for (const auto& algo : suite) {
+    Series s;
+    s.label = algo->name();
+    for (double f : fractions) {
+      ScenarioConfig cfg = base;
+      cfg.anchor_fraction = f;
+      const AggregateRow row = run_algorithm(*algo, cfg, bc.trials);
+      s.xs.push_back(f);
+      s.means.push_back(row.error.mean);
+      s.penalized.push_back(row.penalized_mean);
+      s.coverages.push_back(row.coverage);
+    }
+    all.push_back(std::move(s));
+  }
+  // The no-pre-knowledge engine, to show where priors matter most.
+  {
+    const GridBncl engine;
+    Series s;
+    s.label = "bncl-grid (no priors)";
+    for (double f : fractions) {
+      ScenarioConfig cfg = base;
+      cfg.anchor_fraction = f;
+      cfg.prior_quality = PriorQuality::none;
+      const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+      s.xs.push_back(f);
+      s.means.push_back(row.error.mean);
+      s.penalized.push_back(row.penalized_mean);
+      s.coverages.push_back(row.coverage);
+    }
+    all.push_back(std::move(s));
+  }
+  print_series("anchor_fraction", all);
+  return 0;
+}

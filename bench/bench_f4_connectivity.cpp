@@ -1,0 +1,59 @@
+// F4 — localization error vs connectivity (radio-range sweep).
+//
+// Reproduced shape: everything improves with density; cooperative methods
+// (BNCL, ls-refine) exploit extra links fastest; at the sparse end the
+// network fragments — coverage of anchor-dependent baselines collapses
+// while the Bayesian engine still answers from priors (coverage stays 1.0
+// and the penalized error shows the real gap).
+#include "bench_common.hpp"
+
+using namespace bnloc;
+using namespace bnloc::bench;
+
+int main() {
+  const BenchConfig bc = BenchConfig::from_env();
+  ScenarioConfig base = default_scenario(bc);
+  print_banner("F4", "error vs connectivity (radio range)", bc, base);
+
+  const std::vector<double> ranges = {0.10, 0.125, 0.15, 0.18, 0.22};
+
+  // Report the average degree each range induces, so the x-axis can be
+  // read either way.
+  AsciiTable degrees({"range", "avg_degree", "giant_component"});
+  for (double r : ranges) {
+    RunningStats deg, giant;
+    for (std::size_t t = 0; t < bc.trials; ++t) {
+      ScenarioConfig cfg = base;
+      cfg.radio = make_radio(r, RangingType::log_normal,
+                             base.radio.ranging.noise_factor);
+      cfg.seed = base.seed + t;
+      const Scenario s = build_scenario(cfg);
+      deg.add(s.graph.average_degree());
+      giant.add(static_cast<double>(giant_component_size(s.graph)) /
+                static_cast<double>(s.node_count()));
+    }
+    degrees.add_row(AsciiTable::fmt(r, 3), {deg.mean(), giant.mean()}, 2);
+  }
+  degrees.print(std::cout);
+  std::printf("\n");
+
+  auto suite = sweep_suite();
+  std::vector<Series> all;
+  for (const auto& algo : suite) {
+    Series s;
+    s.label = algo->name();
+    for (double r : ranges) {
+      ScenarioConfig cfg = base;
+      cfg.radio = make_radio(r, RangingType::log_normal,
+                             base.radio.ranging.noise_factor);
+      const AggregateRow row = run_algorithm(*algo, cfg, bc.trials);
+      s.xs.push_back(r);
+      s.means.push_back(row.error.mean);
+      s.penalized.push_back(row.penalized_mean);
+      s.coverages.push_back(row.coverage);
+    }
+    all.push_back(std::move(s));
+  }
+  print_series("radio_range", all);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// F5 — scalability: error and wall time vs network size.
+//
+// Reproduced shape: normalized error is roughly flat in N at constant
+// density (the problem is local), while per-run wall time grows linearly
+// for the distributed engines (constant per-node work) and super-linearly
+// for the centralized MDS-MAP (all-pairs shortest paths + eigensolve).
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "baselines/mdsmap.hpp"
+
+using namespace bnloc;
+using namespace bnloc::bench;
+
+int main() {
+  const BenchConfig bc = BenchConfig::from_env();
+  ScenarioConfig base = default_scenario(bc);
+  print_banner("F5", "scalability in network size", bc, base);
+
+  const std::vector<std::size_t> sizes =
+      bc.fast ? std::vector<std::size_t>{50, 100, 200}
+              : std::vector<std::size_t>{50, 100, 200, 400, 800};
+
+  struct Entry {
+    const char* label;
+    std::function<std::unique_ptr<Localizer>(double range)> make;
+  };
+  const std::vector<Entry> suite = {
+      {"bncl-grid",
+       [&](double r) {
+         // Constant *relative* resolution: keep the cell size a fixed
+         // fraction of the radio range, otherwise shrinking R at larger N
+         // would silently coarsen the belief representation.
+         GridBnclConfig gc;
+         gc.grid_side = static_cast<std::size_t>(
+             std::clamp(std::round(48.0 * base.radio.range / r), 32.0,
+                        128.0));
+         return std::make_unique<GridBncl>(gc);
+       }},
+      {"bncl-gauss",
+       [](double) { return std::make_unique<GaussianBncl>(); }},
+      {"ls-refine",
+       [](double) { return std::make_unique<RefinementLocalizer>(); }},
+      {"mds-map", [](double) { return std::make_unique<MdsMapLocalizer>(); }},
+  };
+
+  for (const auto& entry : suite) {
+    AsciiTable t({"nodes", "mean/R", "coverage", "ms/run", "msgs/node"});
+    for (std::size_t n : sizes) {
+      ScenarioConfig cfg = base;
+      cfg.node_count = n;
+      // Constant density: scale the range with 1/sqrt(N) relative to the
+      // 200-node default so the average degree stays comparable.
+      const double r = base.radio.range *
+                       std::sqrt(200.0 / static_cast<double>(n));
+      cfg.radio = make_radio(r, RangingType::log_normal,
+                             base.radio.ranging.noise_factor);
+      const auto algo = entry.make(r);
+      // Large nets: fewer trials keep the bench's wall time sane.
+      const std::size_t trials =
+          n >= 400 ? std::max<std::size_t>(3, bc.trials / 3) : bc.trials;
+      const AggregateRow row = run_algorithm(*algo, cfg, trials);
+      t.add_row(std::to_string(n),
+                {row.error.mean, row.coverage, row.seconds * 1e3,
+                 row.msgs_per_node}, 3);
+    }
+    std::printf("series %s\n", entry.label);
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// F6 — the value (and danger) of pre-knowledge.
+//
+// Part A: prior quality (none / exact / widened / biased) at two anchor
+// densities. Reproduced shapes: exact priors always help; the benefit is
+// larger when anchors are scarce; *biased* priors can be worse than no
+// priors at all — the honest failure mode of pre-knowledge.
+// Part B: prior-sharpness sweep — widening a correct prior smoothly decays
+// its benefit toward the no-prior error.
+#include "bench_common.hpp"
+
+using namespace bnloc;
+using namespace bnloc::bench;
+
+int main() {
+  const BenchConfig bc = BenchConfig::from_env();
+  ScenarioConfig base = default_scenario(bc);
+  print_banner("F6", "value of pre-knowledge (prior quality)", bc, base);
+
+  const GridBncl engine;
+
+  std::printf("Part A: prior quality x anchor density (bncl-grid)\n");
+  AsciiTable a({"prior_quality", "anchors", "mean/R", "q90/R", "iters"});
+  for (double anchors : {0.05, 0.15}) {
+    for (PriorQuality q : {PriorQuality::none, PriorQuality::exact,
+                           PriorQuality::widened, PriorQuality::biased}) {
+      ScenarioConfig cfg = base;
+      cfg.anchor_fraction = anchors;
+      cfg.prior_quality = q;
+      const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+      a.add_row({to_string(q), AsciiTable::fmt(anchors, 2),
+                 AsciiTable::fmt(row.error.mean, 4),
+                 AsciiTable::fmt(row.error.q90, 4),
+                 AsciiTable::fmt(row.iterations, 1)});
+    }
+  }
+  a.print(std::cout);
+
+  std::printf("\nPart B: prior sharpness (widen factor on exact priors)\n");
+  AsciiTable b({"widen_factor", "mean/R", "q90/R"});
+  for (double widen : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    ScenarioConfig cfg = base;
+    cfg.anchor_fraction = 0.05;
+    cfg.prior_quality =
+        widen == 1.0 ? PriorQuality::exact : PriorQuality::widened;
+    cfg.prior_widen_factor = widen;
+    const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+    b.add_row(AsciiTable::fmt(widen, 1), {row.error.mean, row.error.q90}, 4);
+  }
+  // Reference: no priors at all.
+  {
+    ScenarioConfig cfg = base;
+    cfg.anchor_fraction = 0.05;
+    cfg.prior_quality = PriorQuality::none;
+    const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+    b.add_row("none", {row.error.mean, row.error.q90}, 4);
+  }
+  b.print(std::cout);
+
+  std::printf("\nPart C: bias magnitude sweep (wrong pre-knowledge)\n");
+  AsciiTable c({"bias (x field)", "mean/R", "q90/R"});
+  for (double bias : {0.0, 0.05, 0.10, 0.20, 0.40}) {
+    ScenarioConfig cfg = base;
+    cfg.anchor_fraction = 0.05;
+    cfg.prior_quality =
+        bias == 0.0 ? PriorQuality::exact : PriorQuality::biased;
+    cfg.prior_bias_factor = bias;
+    const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+    c.add_row(AsciiTable::fmt(bias, 2), {row.error.mean, row.error.q90}, 4);
+  }
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,199 @@
+// µB — micro-benchmarks of the computational kernels (google-benchmark).
+//
+// These pin down where the engines' time goes: annulus-kernel stamping
+// dominates GridBncl; likelihood evaluation dominates ParticleBncl; the
+// all-pairs Dijkstra dominates MDS-MAP.
+#include <benchmark/benchmark.h>
+
+#include "bnloc/bnloc.hpp"
+#include "geom/spatial_hash.hpp"
+#include "inference/range_kernel.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace {
+
+using namespace bnloc;
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_SpatialHashBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  for (auto _ : state) {
+    SpatialHash index(pts, Aabb::unit(), 0.15);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SpatialHashBuild)->Arg(200)->Arg(1000);
+
+void BM_LinkGeneration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng prng(3);
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = {prng.uniform(), prng.uniform()};
+  const RadioSpec radio = make_radio(0.15, RangingType::log_normal, 0.1);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto edges = generate_links(pts, Aabb::unit(), radio, rng);
+    benchmark::DoNotOptimize(edges.size());
+  }
+}
+BENCHMARK(BM_LinkGeneration)->Arg(200)->Arg(800);
+
+void BM_GridBeliefMultiply(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  GridBelief b(Aabb::unit(), side);
+  std::vector<double> factor(side * side, 1.0);
+  factor[side * side / 2] = 100.0;
+  for (auto _ : state) {
+    b.multiply(factor, 1e-6);
+    benchmark::DoNotOptimize(b.mass().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(side * side));
+}
+BENCHMARK(BM_GridBeliefMultiply)->Arg(48)->Arg(96);
+
+void BM_GridBeliefSparsify(benchmark::State& state) {
+  const auto side = static_cast<std::size_t>(state.range(0));
+  GridBelief b(Aabb::unit(), side);
+  const auto prior = GaussianPrior::isotropic({0.5, 0.5}, 0.1);
+  b.set_from_prior(*prior);
+  for (auto _ : state) {
+    auto sp = b.sparsify(0.995, 192);
+    benchmark::DoNotOptimize(sp.size());
+  }
+}
+BENCHMARK(BM_GridBeliefSparsify)->Arg(48)->Arg(96);
+
+void BM_RangeKernelBuild(benchmark::State& state) {
+  const GridBelief shape(Aabb::unit(), 48);
+  RangingSpec spec;
+  spec.type = RangingType::log_normal;
+  spec.noise_factor = 0.1;
+  spec.range = 0.15;
+  for (auto _ : state) {
+    auto k = RangeKernel::make_range(0.12, spec, shape);
+    benchmark::DoNotOptimize(k.stamp_count());
+  }
+}
+BENCHMARK(BM_RangeKernelBuild);
+
+void BM_RangeKernelAccumulate(benchmark::State& state) {
+  const std::size_t side = 48;
+  const GridBelief shape(Aabb::unit(), side);
+  RangingSpec spec;
+  spec.type = RangingType::log_normal;
+  spec.noise_factor = 0.1;
+  spec.range = 0.15;
+  const RangeKernel k = RangeKernel::make_range(0.12, spec, shape);
+  GridBelief src(Aabb::unit(), side);
+  const auto prior = GaussianPrior::isotropic({0.5, 0.5}, 0.05);
+  src.set_from_prior(*prior);
+  const SparseBelief sp = src.sparsify(0.995, 192);
+  std::vector<double> out(side * side);
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0);
+    k.accumulate(sp, out, side);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(sp.size() * k.stamp_count()));
+}
+BENCHMARK(BM_RangeKernelAccumulate);
+
+void BM_ParticleResample(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto prior = GaussianPrior::isotropic({0.5, 0.5}, 0.1);
+  Rng rng(5);
+  ParticleSet ps = ParticleSet::from_prior(*prior, k, rng);
+  std::vector<double> w(k);
+  for (std::size_t i = 0; i < k; ++i)
+    w[i] = 1.0 + 0.1 * static_cast<double>(i % 7);
+  for (auto _ : state) {
+    ps.set_weights(w);
+    ps.resample_systematic(rng);
+    benchmark::DoNotOptimize(ps.mean());
+  }
+}
+BENCHMARK(BM_ParticleResample)->Arg(128)->Arg(512);
+
+void BM_BfsHops(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.node_count = 400;
+  cfg.seed = 6;
+  const Scenario s = build_scenario(cfg);
+  for (auto _ : state) {
+    auto hops = bfs_hops(s.graph, 0);
+    benchmark::DoNotOptimize(hops.data());
+  }
+}
+BENCHMARK(BM_BfsHops);
+
+void BM_DijkstraAllFromOne(benchmark::State& state) {
+  ScenarioConfig cfg;
+  cfg.node_count = 400;
+  cfg.seed = 7;
+  const Scenario s = build_scenario(cfg);
+  for (auto _ : state) {
+    auto dist = dijkstra(s.graph, 0);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_DijkstraAllFromOne);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) r(i, j) = rng.normal();
+  const Matrix a = r.transposed() * r;
+  for (auto _ : state) {
+    auto pairs = jacobi_eigen(a);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(20)->Arg(60);
+
+void BM_ScenarioBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ScenarioConfig cfg;
+  cfg.node_count = n;
+  cfg.deployment.kind = DeploymentKind::line_drop;
+  for (auto _ : state) {
+    cfg.seed++;
+    const Scenario s = build_scenario(cfg);
+    benchmark::DoNotOptimize(s.graph.edge_count());
+  }
+}
+BENCHMARK(BM_ScenarioBuild)->Arg(200)->Arg(800);
+
+void BM_GridBnclIteration(benchmark::State& state) {
+  // One full engine run at a small size: end-to-end per-iteration cost.
+  ScenarioConfig cfg;
+  cfg.node_count = 100;
+  cfg.deployment.kind = DeploymentKind::line_drop;
+  cfg.seed = 9;
+  const Scenario s = build_scenario(cfg);
+  GridBnclConfig gc;
+  gc.max_iterations = 4;
+  gc.convergence_tol = 0.0;
+  const GridBncl engine(gc);
+  for (auto _ : state) {
+    Rng rng(1);
+    auto r = engine.localize(s, rng);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+}
+BENCHMARK(BM_GridBnclIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// T10 — ablation: belief resolution vs accuracy vs cost.
+//
+// Part A: grid side sweep — accuracy improves with resolution until the
+// ranging noise floor, cost grows ~quadratically.
+// Part B: particle count sweep — same story for the particle engine.
+// Part C: the Gaussian engine as the constant-cost reference point.
+// Reproduced shape: a clear knee (finer representation stops paying once
+// cell size / particle spacing drops below the ranging sigma).
+#include "bench_common.hpp"
+
+using namespace bnloc;
+using namespace bnloc::bench;
+
+int main() {
+  BenchConfig bc = BenchConfig::from_env();
+  // Resolution ablations are the most expensive bench; trim trials.
+  bc.trials = std::max<std::size_t>(3, bc.trials / 2);
+  const ScenarioConfig base = default_scenario(bc);
+  print_banner("T10", "belief resolution ablation", bc, base);
+
+  std::printf("Part A: grid engine, cells per side\n");
+  AsciiTable a({"grid_side", "cell/R", "mean/R", "q90/R", "ms/run",
+                "kB/node"});
+  for (std::size_t side : {16UL, 24UL, 32UL, 48UL, 64UL, 96UL}) {
+    GridBnclConfig gc;
+    gc.grid_side = side;
+    const GridBncl engine(gc);
+    const AggregateRow row = run_algorithm(engine, base, bc.trials);
+    const double cell =
+        1.0 / static_cast<double>(side) / base.radio.range;
+    a.add_row(std::to_string(side),
+              {cell, row.error.mean, row.error.q90, row.seconds * 1e3,
+               row.bytes_per_node / 1024.0}, 3);
+  }
+  a.print(std::cout);
+
+  std::printf("\nPart B: particle engine, particles per node\n");
+  AsciiTable b({"particles", "mean/R", "q90/R", "ms/run", "kB/node"});
+  for (std::size_t k : {32UL, 64UL, 128UL, 256UL, 512UL}) {
+    ParticleBnclConfig pc;
+    pc.particle_count = k;
+    const ParticleBncl engine(pc);
+    const AggregateRow row = run_algorithm(engine, base, bc.trials);
+    b.add_row(std::to_string(k),
+              {row.error.mean, row.error.q90, row.seconds * 1e3,
+               row.bytes_per_node / 1024.0}, 3);
+  }
+  b.print(std::cout);
+
+  std::printf("\nPart C: Gaussian engine reference\n");
+  AsciiTable c({"engine", "mean/R", "q90/R", "ms/run", "kB/node"});
+  {
+    const GaussianBncl engine;
+    const AggregateRow row = run_algorithm(engine, base, bc.trials);
+    c.add_row("bncl-gauss",
+              {row.error.mean, row.error.q90, row.seconds * 1e3,
+               row.bytes_per_node / 1024.0}, 3);
+  }
+  c.print(std::cout);
+  return 0;
+}

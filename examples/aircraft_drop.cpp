@@ -1,0 +1,101 @@
+// Aircraft drop: the canonical pre-knowledge scenario.
+//
+// 240 sensors are dropped from an aircraft flying a boustrophedon pattern
+// over a 1x1 km field (scaled to the unit square). The flight log gives
+// every node a per-node prior: a cigar-shaped Gaussian around its planned
+// drop point, elongated along the flight direction (release-timing error)
+// and tight across it (crosswind scatter). Only 5% of nodes carry GPS.
+//
+// The example contrasts three worlds on the same physical network:
+//   1. no pre-knowledge (flight log lost),
+//   2. exact pre-knowledge (flight log trusted, and correct),
+//   3. biased pre-knowledge (flight log shifted by a systematic nav error),
+// and shows per-node uncertainty doing real work: picking the nodes a
+// field team should re-survey first.
+#include <algorithm>
+#include <cstdio>
+
+#include "bnloc/bnloc.hpp"
+
+using namespace bnloc;
+
+namespace {
+
+void run_world(const char* label, const ScenarioConfig& cfg) {
+  const Scenario scenario = build_scenario(cfg);
+  GridBncl engine;
+  Rng rng(2024);
+  const LocalizationResult result = engine.localize(scenario, rng);
+  const ErrorReport report = evaluate(scenario, result);
+  std::printf("%-28s mean %.3f R  median %.3f R  q90 %.3f R  (%zu iters, "
+              "%.1f msgs/node)\n",
+              label, report.summary.mean, report.summary.median,
+              report.summary.q90, result.iterations,
+              result.comm.messages_per_node(scenario.node_count()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("aircraft drop: 240 nodes, 5%% GPS anchors, RSSI ranging\n\n");
+
+  ScenarioConfig cfg;
+  cfg.node_count = 240;
+  cfg.anchor_fraction = 0.05;
+  cfg.deployment.kind = DeploymentKind::line_drop;
+  cfg.deployment.drop_lateral_factor = 0.04;  // crosswind scatter
+  cfg.deployment.drop_spacing_error = 0.6;    // release-timing error
+  cfg.radio = make_radio(0.14, RangingType::log_normal, 0.12);
+  cfg.seed = 7;
+
+  cfg.prior_quality = PriorQuality::none;
+  run_world("flight log lost (no prior)", cfg);
+  cfg.prior_quality = PriorQuality::exact;
+  run_world("flight log exact", cfg);
+  cfg.prior_quality = PriorQuality::biased;
+  cfg.prior_bias_factor = 0.10;
+  run_world("flight log biased by 10%", cfg);
+
+  // With the exact flight log: rank nodes by reported uncertainty and show
+  // that the engine's confidence is informative — the nodes it is least
+  // sure about really are the worst-localized ones.
+  cfg.prior_quality = PriorQuality::exact;
+  const Scenario scenario = build_scenario(cfg);
+  GridBncl engine;
+  Rng rng(2024);
+  const LocalizationResult result = engine.localize(scenario, rng);
+
+  struct Ranked {
+    std::size_t node;
+    double spread;
+    double error;
+  };
+  std::vector<Ranked> ranked;
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    if (scenario.is_anchor[i] || !result.covariances[i]) continue;
+    ranked.push_back(
+        {i, result.covariances[i]->rms_radius(),
+         distance(*result.estimates[i], scenario.true_positions[i]) /
+             scenario.radio.range});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              return a.spread > b.spread;
+            });
+
+  const std::size_t k = 10;
+  double err_flagged = 0.0, err_rest = 0.0;
+  for (std::size_t i = 0; i < ranked.size(); ++i)
+    (i < k ? err_flagged : err_rest) += ranked[i].error;
+  err_flagged /= static_cast<double>(k);
+  err_rest /= static_cast<double>(ranked.size() - k);
+
+  std::printf("\nre-survey triage: the %zu least-confident nodes average "
+              "%.3f R error vs %.3f R for the rest (%.1fx).\n",
+              k, err_flagged, err_rest, err_flagged / err_rest);
+  std::printf("top 5 nodes to re-survey:");
+  for (std::size_t i = 0; i < 5; ++i)
+    std::printf(" #%zu(+/-%.3f)", ranked[i].node, ranked[i].spread);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Export a full localization run to CSV for external plotting/GIS.
+//
+// Produces three files in the current directory:
+//   bnloc_positions.csv  per node: truth, estimate, error, reported sigma
+//   bnloc_links.csv      per measured link: true vs measured distance
+//   bnloc_algorithms.csv aggregate comparison across the whole suite
+#include <cstdio>
+
+#include "bnloc/bnloc.hpp"
+
+using namespace bnloc;
+
+int main() {
+  ScenarioConfig cfg;
+  cfg.node_count = 200;
+  cfg.anchor_fraction = 0.08;
+  cfg.deployment.kind = DeploymentKind::line_drop;
+  cfg.radio = make_radio(0.12, RangingType::log_normal, 0.10);
+  cfg.seed = 42;
+  const Scenario scenario = build_scenario(cfg);
+
+  GridBncl engine;
+  Rng rng(1);
+  const LocalizationResult result = engine.localize(scenario, rng);
+  const ErrorReport report = evaluate(scenario, result);
+  std::printf("localized %zu nodes, mean error %.3f R\n",
+              result.localized_count(), report.summary.mean);
+
+  if (!export_positions_csv("bnloc_positions.csv", scenario, result) ||
+      !export_links_csv("bnloc_links.csv", scenario)) {
+    std::fprintf(stderr, "could not write CSV files here\n");
+    return 1;
+  }
+
+  // Small aggregate comparison (3 trials keeps this example quick).
+  const auto suite = default_suite();
+  std::vector<AggregateRow> rows;
+  for (const auto& algo : suite)
+    rows.push_back(run_algorithm(*algo, cfg, 3));
+  if (!export_aggregate_csv("bnloc_algorithms.csv", rows)) return 1;
+
+  std::printf("wrote bnloc_positions.csv (%zu rows), bnloc_links.csv "
+              "(%zu rows), bnloc_algorithms.csv (%zu rows)\n",
+              scenario.node_count(), scenario.graph.edge_count(),
+              rows.size());
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# CI-sized end-to-end check: configure, build, run all tests, and smoke-run
+# every bench and example in fast mode. Exits nonzero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+export BNLOC_FAST=1
+for b in build/bench/*; do
+  echo "--- $b"
+  "$b" > /dev/null
+done
+for e in build/examples/*; do
+  echo "--- $e"
+  (cd build && "../$e" > /dev/null)
+done
+echo "all checks passed"

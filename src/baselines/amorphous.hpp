@@ -1,0 +1,39 @@
+// Amorphous positioning (Nagpal, Shrobe, Bachrach, 2003).
+//
+// Range-free like DV-Hop, but with two refinements from the amorphous-
+// computing literature: hop counts are smoothed by averaging with the
+// neighbors (then offset by -0.5), and the per-hop distance comes from the
+// Kleinrock-Silvester expected-hop-progress formula as a function of the
+// local density rather than from anchor-to-anchor calibration. Works even
+// when anchors cannot calibrate each other (e.g. a single connected pair).
+#pragma once
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+struct AmorphousConfig {
+  std::size_t min_anchors = 3;
+  /// Use neighbor-averaged ("gradient smoothed") hop counts.
+  bool smooth_hops = true;
+};
+
+class AmorphousLocalizer final : public Localizer {
+ public:
+  explicit AmorphousLocalizer(AmorphousConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "amorphous"; }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+
+ private:
+  AmorphousConfig config_;
+};
+
+/// Kleinrock-Silvester expected hop progress for a random network with
+/// `local_density` expected neighbors, as a fraction of the radio range.
+/// Exposed for tests: ~0.5 at density 5, approaching 1 as density grows.
+[[nodiscard]] double expected_hop_progress(double local_density);
+
+}  // namespace bnloc

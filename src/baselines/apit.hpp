@@ -1,0 +1,41 @@
+// APIT — Approximate Point-In-Triangulation (He, Huang, Blum, Stankovic,
+// Abdelzaher, 2003).
+//
+// Area-based and range-free: a node decides, for every triangle of anchors
+// it can hear, whether it lies inside, using the Approximate PIT test —
+// "if none of my neighbors is simultaneously nearer to or farther from all
+// three corners than I am, I am inside". Signal-strength comparisons stand
+// in for nearer/farther (here: the measured link distances). The estimate
+// is the center of gravity of the maximum-overlap region of all triangles
+// voted inside, computed on a scan grid.
+//
+// Coverage is the known weakness: the test needs >= 3 *audible* anchors
+// plus neighbors who hear the same anchors, so at realistic anchor
+// densities most nodes abstain — which T1's coverage column makes visible.
+#pragma once
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+struct ApitConfig {
+  std::size_t scan_grid = 24;  ///< resolution of the overlap scan grid.
+  std::size_t max_triangles = 40;  ///< cap on triangles tested per node.
+};
+
+class ApitLocalizer final : public Localizer {
+ public:
+  explicit ApitLocalizer(ApitConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "apit"; }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+
+ private:
+  ApitConfig config_;
+};
+
+/// Exact point-in-triangle (inclusive of edges); exposed for tests.
+[[nodiscard]] bool point_in_triangle(Vec2 p, Vec2 a, Vec2 b, Vec2 c) noexcept;
+
+}  // namespace bnloc

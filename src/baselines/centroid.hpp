@@ -1,0 +1,32 @@
+// Centroid and weighted-centroid localization (Bulusu et al., 2000).
+//
+// The simplest anchor-proximity schemes: a node estimates itself at the
+// (possibly distance-weighted) centroid of the anchors it can hear. No
+// cooperation — nodes without an anchor neighbor stay unlocalized, which is
+// what the coverage column in T1 shows.
+#pragma once
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+struct CentroidConfig {
+  /// Weight anchors by 1/measured-distance instead of equally.
+  bool distance_weighted = false;
+};
+
+class CentroidLocalizer final : public Localizer {
+ public:
+  explicit CentroidLocalizer(CentroidConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override {
+    return config_.distance_weighted ? "w-centroid" : "centroid";
+  }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+
+ private:
+  CentroidConfig config_;
+};
+
+}  // namespace bnloc

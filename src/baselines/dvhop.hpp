@@ -1,0 +1,37 @@
+// DV-Hop localization (Niculescu & Nath, 2001).
+//
+// Range-free: anchors flood hop counts; each anchor computes an average
+// hop length from its distances to other anchors; unknowns convert hop
+// counts to distance estimates with the nearest anchor's correction factor
+// and trilaterate. The canonical hop-count baseline.
+#pragma once
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+struct DvHopConfig {
+  /// Minimum anchors with finite hop distance required to trilaterate.
+  std::size_t min_anchors = 3;
+};
+
+class DvHopLocalizer final : public Localizer {
+ public:
+  explicit DvHopLocalizer(DvHopConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "dv-hop"; }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+
+ private:
+  DvHopConfig config_;
+};
+
+/// Shared helper: weighted lateration from (anchor position, estimated
+/// distance) pairs, linearized against the last pair. Returns nullopt on
+/// degenerate geometry. Exposed for DV-Hop, one-shot multilateration, and
+/// tests.
+[[nodiscard]] std::optional<Vec2> lateration(
+    std::span<const Vec2> anchors, std::span<const double> distances);
+
+}  // namespace bnloc

@@ -1,0 +1,32 @@
+// MDS-MAP localization (Shang, Ruml, Zhang, Fromherz, 2003).
+//
+// Centralized: build the all-pairs shortest-path distance matrix over the
+// connectivity graph (measured distances as edge lengths), classical
+// multidimensional scaling (double centering + top-2 eigenvectors) for a
+// relative map, then Procrustes-align the map to the anchors. Strong when
+// the network is dense and convex; degrades on sparse or concave layouts —
+// a shape T1/F4 exhibit.
+#pragma once
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+struct MdsMapConfig {
+  /// Use the full Jacobi spectrum (exact) instead of power iteration.
+  bool exact_eigen = false;
+};
+
+class MdsMapLocalizer final : public Localizer {
+ public:
+  explicit MdsMapLocalizer(MdsMapConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "mds-map"; }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+
+ private:
+  MdsMapConfig config_;
+};
+
+}  // namespace bnloc

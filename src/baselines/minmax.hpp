@@ -1,0 +1,20 @@
+// Min-Max (bounding box) localization (Savvides et al. / Savarese et al.).
+//
+// Each anchor neighbor with measured distance d constrains the node to the
+// square [x_a - d, x_a + d] x [y_a - d, y_a + d]; the estimate is the center
+// of the intersection of those squares. A coarse but extremely cheap use of
+// ranging, commonly used as the initializer of refinement schemes.
+#pragma once
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+class MinMaxLocalizer final : public Localizer {
+ public:
+  [[nodiscard]] std::string name() const override { return "min-max"; }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+};
+
+}  // namespace bnloc

@@ -1,0 +1,46 @@
+// Cooperative least-squares refinement (Savarese et al., 2002 style).
+//
+// Two stages: a coarse start (DV-Hop positions where available, otherwise
+// Min-Max, otherwise the field center), then iterative refinement — every
+// unknown repeatedly re-solves a weighted Gauss-Newton step against its
+// neighbors' current estimates using the measured link distances. This is
+// the strongest non-Bayesian comparator: fully cooperative, uses ranging,
+// but carries no priors and no uncertainty.
+#pragma once
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+struct RefinementConfig {
+  std::size_t max_iterations = 60;
+  double step_damping = 0.8;      ///< fraction of the GN step applied.
+  double convergence_tol = 0.002;  ///< mean motion / radio range stop rule.
+  /// Confidence weighting: anchors weight 1, unknowns start low and grow as
+  /// they stabilize (prevents error propagation from poor starts).
+  double initial_confidence = 0.1;
+};
+
+class RefinementLocalizer final : public Localizer {
+ public:
+  explicit RefinementLocalizer(RefinementConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "ls-refine"; }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+
+ private:
+  RefinementConfig config_;
+};
+
+/// One-shot multilateration against directly-heard anchors only (no
+/// cooperation); the classic non-iterative ranging baseline.
+class MultilaterationLocalizer final : public Localizer {
+ public:
+  [[nodiscard]] std::string name() const override { return "lateration"; }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+};
+
+}  // namespace bnloc

@@ -1,0 +1,106 @@
+#include "core/gaussian_bncl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "inference/gaussian2d.hpp"
+#include "net/sync_radio.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace bnloc {
+
+GaussianBncl::GaussianBncl(GaussianBnclConfig config) : config_(config) {
+  BNLOC_ASSERT(config_.damping >= 0.0 && config_.damping < 1.0,
+               "damping must be in [0, 1)");
+}
+
+LocalizationResult GaussianBncl::localize(const Scenario& scenario,
+                                          Rng& rng) const {
+  const Stopwatch watch;
+  const std::size_t n = scenario.node_count();
+  LocalizationResult result = make_result_skeleton(scenario);
+
+  std::vector<Gaussian2> belief(n), prior(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scenario.is_anchor[i]) {
+      belief[i].mean = scenario.anchor_position(i);
+      belief[i].cov =
+          Cov2::isotropic(config_.anchor_sigma * config_.anchor_sigma);
+    } else {
+      const PositionPrior& p = *scenario.priors[i];
+      // An informative prior's mean is the best linearization point; for an
+      // uninformative (uniform) prior, every node starting at the field
+      // center makes all inter-node directions degenerate, so scatter the
+      // starting means by sampling instead.
+      belief[i].mean = p.is_informative() ? p.mean() : p.sample(rng);
+      belief[i].cov = p.covariance();
+    }
+    prior[i] = belief[i];
+    prior[i].mean = scenario.is_anchor[i] ? belief[i].mean
+                                          : scenario.priors[i]->mean();
+  }
+  // Published snapshots (cur/prev) model broadcast + possible loss.
+  std::vector<Gaussian2> cur_pub = belief, prev_pub = belief;
+
+  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10));
+  // A Gaussian summary is mean + covariance: 5 floats = 20 bytes.
+  constexpr std::size_t kPayloadBytes = 20;
+
+  std::vector<Gaussian2> staged = belief;
+  std::size_t iter = 0;
+  for (; iter < config_.max_iterations; ++iter) {
+    radio.begin_round();
+    for (std::size_t u = 0; u < n; ++u) {
+      prev_pub[u] = cur_pub[u];
+      cur_pub[u] = belief[u];
+      radio.record_broadcast(u, kPayloadBytes);
+    }
+
+    double max_motion = 0.0;
+    double sum_motion = 0.0;
+    std::size_t unknowns = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (scenario.is_anchor[i]) continue;
+      InfoAccumulator acc(prior[i]);
+      for (const Neighbor& nb : scenario.graph.neighbors(i)) {
+        const Gaussian2& src =
+            radio.delivered(nb.node, i) ? cur_pub[nb.node] : prev_pub[nb.node];
+        acc.add_range(src, belief[i].mean, nb.weight,
+                      scenario.radio.ranging.sigma_at(nb.weight));
+      }
+      Gaussian2 post = acc.posterior();
+      // Damp the mean; keep the fresher covariance.
+      post.mean = lerp(post.mean, belief[i].mean, config_.damping);
+      post.mean = scenario.field.clamp(post.mean);
+      const double motion =
+          distance(post.mean, belief[i].mean) / scenario.radio.range;
+      max_motion = std::max(max_motion, motion);
+      sum_motion += motion;
+      ++unknowns;
+      staged[i] = post;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      if (!scenario.is_anchor[i]) belief[i] = staged[i];
+
+    result.change_per_iteration.push_back(
+        unknowns ? sum_motion / static_cast<double>(unknowns) : 0.0);
+    if (max_motion < config_.convergence_tol && iter >= 2) {
+      result.converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scenario.is_anchor[i]) continue;
+    result.estimates[i] = belief[i].mean;
+    result.covariances[i] = belief[i].cov;
+  }
+  result.iterations = iter;
+  result.comm = radio.stats();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,41 @@
+// GaussianBncl: single-Gaussian (EKF-style) flavor of BNCL.
+//
+// Each belief is one 2-D Gaussian. A range measurement to neighbor j is
+// linearized around the current means and folded in as a rank-1 information
+// update whose noise includes j's own positional uncertainty. Cheapest of
+// the three engines — constant memory and O(degree) work per node per
+// round — at the cost of unimodality: it cannot represent the ring-shaped
+// ambiguity a node with one anchor neighbor truly has, which is exactly the
+// gap the grid/particle engines close (T1, T10).
+#pragma once
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+struct GaussianBnclConfig {
+  std::size_t max_iterations = 40;
+  double damping = 0.5;           ///< mean-update damping in [0, 1).
+  double convergence_tol = 0.002;  ///< stop when mean motion (fraction of
+                                   ///< radio range) drops below.
+  double anchor_sigma = 1e-4;     ///< anchor belief stddev (exactness).
+  double packet_loss = 0.0;
+};
+
+class GaussianBncl final : public Localizer {
+ public:
+  explicit GaussianBncl(GaussianBnclConfig config = {});
+
+  [[nodiscard]] std::string name() const override { return "bncl-gauss"; }
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+
+  [[nodiscard]] const GaussianBnclConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  GaussianBnclConfig config_;
+};
+
+}  // namespace bnloc

@@ -1,0 +1,229 @@
+#include "core/grid_bncl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "inference/grid_belief.hpp"
+#include "inference/range_kernel.hpp"
+#include "net/sync_radio.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace bnloc {
+
+GridBncl::GridBncl(GridBnclConfig config) : config_(std::move(config)) {
+  BNLOC_ASSERT(config_.damping >= 0.0 && config_.damping < 1.0,
+               "damping must be in [0, 1)");
+  BNLOC_ASSERT(config_.grid_side >= 8, "grid too coarse to be meaningful");
+}
+
+std::string GridBncl::name() const {
+  return config_.use_negative_evidence ? "bncl-grid" : "bncl-grid-noneg";
+}
+
+namespace {
+
+/// Two-hop non-neighbor pairs for negative evidence, capped per node.
+std::vector<std::vector<std::size_t>> two_hop_nonlinks(const Scenario& s,
+                                                       std::size_t cap) {
+  std::vector<std::vector<std::size_t>> out(s.node_count());
+  std::vector<unsigned char> is_nb(s.node_count(), 0);
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    if (s.is_anchor[i]) continue;
+    for (const Neighbor& nb : s.graph.neighbors(i)) is_nb[nb.node] = 1;
+    is_nb[i] = 1;
+    for (const Neighbor& nb : s.graph.neighbors(i)) {
+      for (const Neighbor& nb2 : s.graph.neighbors(nb.node)) {
+        if (is_nb[nb2.node]) continue;
+        is_nb[nb2.node] = 1;  // also dedupes the candidate list
+        out[i].push_back(nb2.node);
+        if (out[i].size() >= cap) break;
+      }
+      if (out[i].size() >= cap) break;
+    }
+    // reset marks
+    for (std::size_t v : out[i]) is_nb[v] = 0;
+    for (const Neighbor& nb : s.graph.neighbors(i)) is_nb[nb.node] = 0;
+    is_nb[i] = 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+LocalizationResult GridBncl::localize(const Scenario& scenario,
+                                      Rng& rng) const {
+  const Stopwatch watch;
+  const std::size_t n = scenario.node_count();
+  const std::size_t side = config_.grid_side;
+  LocalizationResult result = make_result_skeleton(scenario);
+
+  // --- Belief state ------------------------------------------------------
+  std::vector<GridBelief> belief;
+  belief.reserve(n);
+  std::vector<GridBelief> prior_grid;  // cached prior rasterization
+  prior_grid.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    GridBelief b(scenario.field, side);
+    GridBelief p(scenario.field, side);
+    if (scenario.is_anchor[i]) {
+      b.set_delta(scenario.anchor_position(i));
+      p.set_delta(scenario.anchor_position(i));
+    } else {
+      p.set_from_prior(*scenario.priors[i]);
+      b = p;
+    }
+    belief.push_back(std::move(b));
+    prior_grid.push_back(std::move(p));
+  }
+  std::vector<GridBelief> staged = belief;  // Jacobi double buffer
+
+  // --- Published summaries (the "network state") -------------------------
+  std::vector<SparseBelief> cur_pub(n), prev_pub(n);
+  std::vector<GridBelief> last_pub_dense(n, GridBelief(scenario.field, side));
+  std::vector<unsigned char> ever_published(n, 0);
+
+  // --- Precomputed kernels per directed CSR slot -------------------------
+  std::vector<std::size_t> kernel_offset(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    kernel_offset[i + 1] = kernel_offset[i] + scenario.graph.degree(i);
+  std::vector<RangeKernel> kernels;
+  kernels.reserve(kernel_offset[n]);
+  const GridBelief& shape = belief.front();
+  for (std::size_t i = 0; i < n; ++i)
+    for (const Neighbor& nb : scenario.graph.neighbors(i))
+      kernels.push_back(
+          RangeKernel::make_range(nb.weight, scenario.radio.ranging, shape));
+
+  const RangeKernel conn_kernel =
+      config_.use_negative_evidence
+          ? RangeKernel::make_connectivity(scenario.radio, shape)
+          : RangeKernel();
+  const auto nonlinks =
+      config_.use_negative_evidence
+          ? two_hop_nonlinks(scenario, config_.negative_max_pairs)
+          : std::vector<std::vector<std::size_t>>();
+
+  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10));
+  const bool always_publish = config_.packet_loss > 0.0;
+
+  std::vector<double> msg(side * side);
+  const auto emit_estimates = [&](std::vector<GridBelief>& beliefs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (scenario.is_anchor[i]) continue;
+      result.estimates[i] = config_.map_estimate ? beliefs[i].argmax()
+                                                 : beliefs[i].mean();
+      result.covariances[i] = beliefs[i].covariance();
+    }
+  };
+
+  // --- Iterations ---------------------------------------------------------
+  std::size_t iter = 0;
+  for (; iter < config_.max_iterations; ++iter) {
+    radio.begin_round();
+
+    // Publish phase: decide who broadcasts this round.
+    for (std::size_t u = 0; u < n; ++u) {
+      SparseBelief sp =
+          belief[u].sparsify(config_.support_mass, config_.max_support_cells);
+      const bool informative =
+          scenario.is_anchor[u] ||
+          sp.covered_fraction >= config_.informative_coverage;
+      if (!informative) continue;
+      bool publish;
+      if (!ever_published[u]) {
+        publish = true;
+      } else if (always_publish) {
+        publish = true;
+      } else {
+        publish = belief[u].total_variation(last_pub_dense[u]) >
+                  config_.rebroadcast_tol;
+      }
+      if (!publish) continue;
+      prev_pub[u] = ever_published[u] ? cur_pub[u] : sp;
+      cur_pub[u] = std::move(sp);
+      last_pub_dense[u] = belief[u];
+      ever_published[u] = 1;
+      radio.record_broadcast(u, cur_pub[u].payload_bytes());
+    }
+
+    // Update phase: rebuild each unknown's belief from its prior and the
+    // currently-visible neighbor summaries. Jacobi writes into a staging
+    // buffer (order-independent, the honest distributed semantics);
+    // Gauss-Seidel commits each node's belief and published summary
+    // immediately so later nodes in the round already see it.
+    const bool gauss_seidel =
+        config_.schedule == UpdateSchedule::gauss_seidel;
+    double sum_change = 0.0;
+    std::size_t changed_nodes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (scenario.is_anchor[i]) continue;
+      GridBelief& next = staged[i];
+      next = prior_grid[i];
+      const auto nbs = scenario.graph.neighbors(i);
+      for (std::size_t k = 0; k < nbs.size(); ++k) {
+        const std::size_t j = nbs[k].node;
+        const SparseBelief& src =
+            radio.delivered(j, i) ? cur_pub[j] : prev_pub[j];
+        if (src.empty()) continue;
+        std::fill(msg.begin(), msg.end(), 0.0);
+        kernels[kernel_offset[i] + k].accumulate(src, msg, side);
+        const double peak = *std::max_element(msg.begin(), msg.end());
+        if (peak <= 0.0) continue;
+        for (double& v : msg) v /= peak;
+        next.multiply(msg, config_.message_floor);
+      }
+      if (config_.use_negative_evidence) {
+        for (std::size_t far : nonlinks[i]) {
+          const SparseBelief& src = cur_pub[far];
+          // Negative evidence only pays off against a concentrated belief.
+          if (src.empty() || src.covered_fraction < 0.9) continue;
+          std::fill(msg.begin(), msg.end(), 0.0);
+          conn_kernel.accumulate(src, msg, side);
+          // m(x) = 1 - P(link | x): cap at 1 (kernel overlap can exceed it
+          // slightly on coarse grids).
+          for (double& v : msg) v = std::max(0.0, 1.0 - std::min(v, 1.0));
+          next.multiply(msg, config_.message_floor);
+        }
+      }
+      next.mix_with(belief[i], config_.damping);
+      sum_change += next.total_variation(belief[i]);
+      ++changed_nodes;
+      if (gauss_seidel) {
+        belief[i] = next;
+        // Refresh the visible summary in place (a centralized sweep has no
+        // extra broadcast; traffic is not re-metered here).
+        SparseBelief sp = belief[i].sparsify(config_.support_mass,
+                                             config_.max_support_cells);
+        if (sp.covered_fraction >= config_.informative_coverage) {
+          cur_pub[i] = std::move(sp);
+          ever_published[i] = 1;
+        }
+      }
+    }
+    if (!gauss_seidel)
+      for (std::size_t i = 0; i < n; ++i)
+        if (!scenario.is_anchor[i]) belief[i] = staged[i];
+
+    const double mean_change =
+        changed_nodes ? sum_change / static_cast<double>(changed_nodes) : 0.0;
+    result.change_per_iteration.push_back(mean_change);
+    if (config_.observer) {
+      emit_estimates(belief);
+      config_.observer(iter + 1, result.estimates);
+    }
+    if (mean_change < config_.convergence_tol && iter >= 2) {
+      result.converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  emit_estimates(belief);
+  result.iterations = iter;
+  result.comm = radio.stats();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,91 @@
+// GridBncl: the paper's core algorithm, grid-discretized flavor.
+//
+// Bayesian-network cooperative localization: every node holds a belief over
+// its own position; anchors hold deltas, unknowns start from their
+// pre-knowledge prior. Nodes repeatedly broadcast a sparse summary of their
+// belief; on reception, a node rebuilds its belief as
+//
+//     b_i(x)  proportional to  p_i(x) * prod_{j in N(i)} m_{j->i}(x),
+//     m_{j->i}(x) = sum_y b_j(y) * L(d_ij | ||x - y||),
+//
+// the broadcast (SPAWN-style) variant of loopy belief propagation on the
+// pairwise position network — each iteration rebuilds the belief from the
+// prior and the *current* neighbor beliefs, so evidence is not double-
+// counted across iterations. Messages are annulus-kernel correlations
+// (see inference/range_kernel.hpp).
+//
+// Protocol economics built in:
+//  * a node stays silent until its belief is concentrated enough to be
+//    worth a packet (uninformative-flooding suppression);
+//  * a localized node re-broadcasts only when its belief moved by more than
+//    `rebroadcast_tol` total variation;
+//  * payloads are the sparse top-cells summary, metered through SyncRadio
+//    (optionally lossy).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+/// Belief-update ordering within a round.
+enum class UpdateSchedule {
+  jacobi,        ///< all nodes update from the round-start snapshot — the
+                 ///< faithful model of a synchronous distributed protocol.
+  gauss_seidel,  ///< nodes update in index order, each seeing the beliefs
+                 ///< already updated this round — a centralized idealization
+                 ///< that converges in fewer rounds (scheduling ablation).
+};
+
+struct GridBnclConfig {
+  std::size_t grid_side = 48;       ///< cells per field side.
+  UpdateSchedule schedule = UpdateSchedule::jacobi;
+  std::size_t max_iterations = 24;
+  double damping = 0.3;             ///< linear belief damping in [0, 1).
+  double convergence_tol = 0.01;    ///< stop when *mean* TV change drops
+                                    ///< below (estimates plateau earlier
+                                    ///< than individual beliefs settle).
+  double message_floor = 1e-4;      ///< additive floor per message (peak 1).
+  double support_mass = 0.995;      ///< belief mass a broadcast targets.
+  std::size_t max_support_cells = 192;  ///< payload cap per broadcast.
+  /// A belief is worth broadcasting once its top `max_support_cells` cells
+  /// cover this much mass. 0.5 admits ring-shaped beliefs (one-anchor
+  /// nodes) — essential for bootstrap when priors are uniform — while
+  /// still silencing near-uniform beliefs.
+  double informative_coverage = 0.5;
+  double rebroadcast_tol = 0.01;    ///< TV change that triggers a re-send.
+  /// Fold in two-hop non-links ("j cannot hear k, so k is probably outside
+  /// j's range"). In a Bayesian network over the deployment, the *absence*
+  /// of an edge is evidence too; it prunes mirror-image ghost modes and is
+  /// the single largest tail-error reduction in the engine (see F12).
+  bool use_negative_evidence = true;
+  std::size_t negative_max_pairs = 12;  ///< non-link factors per node cap.
+  double packet_loss = 0.0;         ///< per-reception drop probability.
+  bool map_estimate = false;        ///< MAP cell instead of MMSE mean.
+
+  /// Optional per-iteration hook (estimates indexed by node; anchors too).
+  std::function<void(std::size_t iteration,
+                     std::span<const std::optional<Vec2>> estimates)>
+      observer;
+};
+
+class GridBncl final : public Localizer {
+ public:
+  explicit GridBncl(GridBnclConfig config = {});
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
+                                            Rng& rng) const override;
+
+  [[nodiscard]] const GridBnclConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  GridBnclConfig config_;
+};
+
+}  // namespace bnloc

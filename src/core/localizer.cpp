@@ -1,0 +1,25 @@
+#include "core/localizer.hpp"
+
+namespace bnloc {
+
+std::size_t LocalizationResult::localized_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : estimates)
+    if (e.has_value()) ++n;
+  return n;
+}
+
+LocalizationResult make_result_skeleton(const Scenario& scenario) {
+  LocalizationResult r;
+  r.estimates.resize(scenario.node_count());
+  r.covariances.resize(scenario.node_count());
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    if (scenario.is_anchor[i]) {
+      r.estimates[i] = scenario.anchor_position(i);
+      r.covariances[i] = Cov2::isotropic(0.0);
+    }
+  }
+  return r;
+}
+
+}  // namespace bnloc

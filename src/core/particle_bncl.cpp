@@ -1,0 +1,162 @@
+#include "core/particle_bncl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "inference/particle_set.hpp"
+#include "net/sync_radio.hpp"
+#include "support/assert.hpp"
+#include "support/timer.hpp"
+
+namespace bnloc {
+
+ParticleBncl::ParticleBncl(ParticleBnclConfig config) : config_(config) {
+  BNLOC_ASSERT(config_.particle_count >= 8, "too few particles");
+  BNLOC_ASSERT(config_.message_subsample >= 1, "message subsample empty");
+  BNLOC_ASSERT(
+      config_.prior_refresh_fraction + config_.ring_refresh_fraction < 1.0,
+      "refresh fractions must leave room for surviving particles");
+}
+
+LocalizationResult ParticleBncl::localize(const Scenario& scenario,
+                                          Rng& rng) const {
+  const Stopwatch watch;
+  const std::size_t n = scenario.node_count();
+  const std::size_t k_particles = config_.particle_count;
+  LocalizationResult result = make_result_skeleton(scenario);
+
+  Rng init_rng = rng.split(0x9a111);
+  std::vector<ParticleSet> belief;
+  belief.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    belief.push_back(scenario.is_anchor[i]
+                         ? ParticleSet::delta(scenario.anchor_position(i),
+                                              k_particles)
+                         : ParticleSet::from_prior(*scenario.priors[i],
+                                                   k_particles, init_rng));
+  }
+  // Published clouds: the subsampled particles a node put on the air, with
+  // the cloud's RMS spread (the informativeness gate on the receiver side).
+  // (Subsampling is also the payload bound: M points of 8 bytes each.)
+  std::vector<std::vector<Vec2>> cur_pub(n), prev_pub(n);
+  std::vector<double> cur_spread(n, 1e30), prev_spread(n, 1e30);
+  const double spread_gate = config_.informative_spread * scenario.radio.range;
+
+  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10));
+  Rng work_rng = rng.split(0x40c);
+
+  std::vector<Vec2> prev_mean(n);
+  for (std::size_t i = 0; i < n; ++i) prev_mean[i] = belief[i].mean();
+
+  std::vector<double> weights(k_particles);
+  std::size_t iter = 0;
+  for (; iter < config_.max_iterations; ++iter) {
+    radio.begin_round();
+
+    // Publish: every node broadcasts a subsample of its cloud each round
+    // (particle beliefs have no cheap silence criterion; this matches the
+    // constant-duty-cycle NBP protocol).
+    for (std::size_t u = 0; u < n; ++u) {
+      const auto idx =
+          belief[u].subsample(config_.message_subsample, work_rng);
+      prev_pub[u] = std::move(cur_pub[u]);
+      prev_spread[u] = cur_spread[u];
+      cur_pub[u].clear();
+      cur_pub[u].reserve(idx.size());
+      for (std::size_t p : idx) cur_pub[u].push_back(belief[u].point(p));
+      cur_spread[u] = belief[u].covariance().rms_radius();
+      radio.record_broadcast(u, cur_pub[u].size() * 8);
+    }
+
+    // Update: refresh part of the cloud, then reweight against messages.
+    const auto usable_cloud =
+        [&](std::size_t from, std::size_t to) -> const std::vector<Vec2>* {
+      const bool fresh = radio.delivered(from, to);
+      const std::vector<Vec2>& cloud = fresh ? cur_pub[from] : prev_pub[from];
+      const double spread = fresh ? cur_spread[from] : prev_spread[from];
+      if (cloud.empty() || spread > spread_gate) return nullptr;
+      return &cloud;
+    };
+    double mean_motion = 0.0;
+    std::size_t unknowns = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (scenario.is_anchor[i]) continue;
+      ParticleSet& b = belief[i];
+      const auto nbs = scenario.graph.neighbors(i);
+
+      // -- proposal refresh: prior samples + neighbor range-ring samples.
+      std::vector<Vec2> pts(b.points().begin(), b.points().end());
+      const auto n_prior = static_cast<std::size_t>(
+          config_.prior_refresh_fraction * static_cast<double>(k_particles));
+      const auto n_ring =
+          nbs.empty() ? 0
+                      : static_cast<std::size_t>(
+                            config_.ring_refresh_fraction *
+                            static_cast<double>(k_particles));
+      for (std::size_t r = 0; r < n_prior; ++r) {
+        const std::size_t slot = work_rng.uniform_index(k_particles);
+        pts[slot] = scenario.priors[i]->sample(work_rng);
+      }
+      for (std::size_t r = 0; r < n_ring; ++r) {
+        const std::size_t kk = work_rng.uniform_index(nbs.size());
+        const std::vector<Vec2>* cloud = usable_cloud(nbs[kk].node, i);
+        if (!cloud) continue;
+        const Vec2 y = (*cloud)[work_rng.uniform_index(cloud->size())];
+        const double noisy_r = std::max(
+            1e-6, nbs[kk].weight +
+                      work_rng.normal(0.0, scenario.radio.ranging.sigma_at(
+                                               nbs[kk].weight)));
+        const double theta = work_rng.uniform(0.0, 6.283185307179586);
+        const std::size_t slot = work_rng.uniform_index(k_particles);
+        pts[slot] = scenario.field.clamp(
+            y + Vec2{std::cos(theta), std::sin(theta)} * noisy_r);
+      }
+      // -- reweight against prior and messages.
+      for (std::size_t p = 0; p < pts.size(); ++p) {
+        double w = scenario.priors[i]->density(pts[p]) + 1e-12;
+        for (std::size_t kk = 0; kk < nbs.size(); ++kk) {
+          const std::vector<Vec2>* cloud = usable_cloud(nbs[kk].node, i);
+          if (!cloud) continue;
+          double msg = 0.0;
+          for (const Vec2& y : *cloud)
+            msg += scenario.radio.ranging.likelihood(nbs[kk].weight,
+                                                     distance(pts[p], y));
+          msg /= static_cast<double>(cloud->size());
+          // Floor keeps one conflicting link from zeroing the particle.
+          w *= msg + 1e-6;
+        }
+        weights[p] = w;
+      }
+      b = ParticleSet::from_points(std::move(pts));
+      b.set_weights(weights);
+      b.resample_systematic(work_rng);
+      b.regularize(work_rng);
+
+      const Vec2 m = b.mean();
+      mean_motion += distance(m, prev_mean[i]) / scenario.radio.range;
+      prev_mean[i] = m;
+      ++unknowns;
+    }
+
+    const double avg_motion =
+        unknowns ? mean_motion / static_cast<double>(unknowns) : 0.0;
+    result.change_per_iteration.push_back(avg_motion);
+    if (avg_motion < config_.convergence_tol && iter >= 2) {
+      result.converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (scenario.is_anchor[i]) continue;
+    result.estimates[i] = belief[i].mean();
+    result.covariances[i] = belief[i].covariance();
+  }
+  result.iterations = iter;
+  result.comm = radio.stats();
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,90 @@
+#include "core/tracking.hpp"
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "linalg/solve.hpp"
+#include "radio/connectivity.hpp"
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+PriorPtr posterior_to_prior(Vec2 mean, Cov2 cov, const MotionSpec& motion) {
+  // Inflate by the motion step: Sigma' = Sigma + step^2 I, then express as
+  // an axis-aligned-in-eigenbasis Gaussian.
+  const double step_var = motion.step_sigma * motion.step_sigma;
+  const Cov2 inflated{cov.xx + step_var, cov.xy, cov.yy + step_var};
+  const Eigen2 eig = eigen_sym2(inflated.xx, inflated.xy, inflated.yy);
+  const double s0 = std::sqrt(std::max(eig.value[0], 1e-12));
+  const double s1 = std::sqrt(std::max(eig.value[1], 1e-12));
+  return std::make_shared<GaussianPrior>(
+      mean, s0, s1, Vec2{eig.vector[0][0], eig.vector[0][1]});
+}
+
+std::vector<TrackingEpoch> run_tracking(const ScenarioConfig& initial,
+                                        const TrackingConfig& config,
+                                        Rng& rng) {
+  BNLOC_ASSERT(config.epochs >= 1, "tracking needs at least one epoch");
+  Rng motion_rng = rng.split(0x307e);
+  Rng link_rng = rng.split(0x11235);
+  Rng engine_rng = rng.split(0xe7e7);
+
+  Scenario scenario = build_scenario(initial);
+  const std::vector<PriorPtr> original_priors = scenario.priors;
+  const auto uniform = std::make_shared<UniformPrior>(scenario.field);
+
+  const GridBncl engine(config.engine);
+  std::vector<TrackingEpoch> epochs;
+  epochs.reserve(config.epochs);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (epoch > 0) {
+      // Move the unknowns and re-measure the links.
+      for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+        if (scenario.is_anchor[i]) continue;
+        scenario.true_positions[i] = scenario.field.clamp(
+            scenario.true_positions[i] +
+            Vec2{motion_rng.normal(0.0, config.motion.step_sigma),
+                 motion_rng.normal(0.0, config.motion.step_sigma)});
+      }
+      const auto edges = generate_links(scenario.true_positions,
+                                        scenario.field, scenario.radio,
+                                        link_rng);
+      scenario.graph = Graph(scenario.node_count(), edges);
+    }
+
+    Rng run_rng = engine_rng.split(epoch);
+    const LocalizationResult result = engine.localize(scenario, run_rng);
+    const ErrorReport report = evaluate(scenario, result);
+
+    TrackingEpoch e;
+    e.mean_error = report.summary.mean;
+    e.q90_error = report.summary.q90;
+    e.iterations = result.iterations;
+    e.comm = result.comm;
+    epochs.push_back(e);
+
+    // Install the next epoch's priors.
+    for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+      if (scenario.is_anchor[i]) continue;
+      switch (config.prior_mode) {
+        case TrackingPriorMode::posterior:
+          if (result.estimates[i] && result.covariances[i]) {
+            scenario.priors[i] = posterior_to_prior(
+                *result.estimates[i], *result.covariances[i],
+                config.motion);
+          }
+          break;
+        case TrackingPriorMode::original:
+          scenario.priors[i] = original_priors[i];
+          break;
+        case TrackingPriorMode::uniform:
+          scenario.priors[i] = uniform;
+          break;
+      }
+    }
+  }
+  return epochs;
+}
+
+}  // namespace bnloc

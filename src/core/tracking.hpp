@@ -1,0 +1,60 @@
+// Sequential tracking: posterior-as-pre-knowledge across epochs.
+//
+// The natural extension of the paper's idea: once a network has localized
+// itself, and nodes then drift (water current, livestock, forklifts), the
+// epoch-t posterior — widened by a motion model — IS the epoch-(t+1)
+// pre-knowledge. A TrackingSession moves the unknown nodes by a Gaussian
+// random walk each epoch, redraws the measured link set, converts each
+// node's previous posterior (mean + covariance, inflated by the motion
+// variance) into its new prior, and re-runs a BNCL engine. Warm-starting
+// this way both lowers the per-epoch error and cuts iterations/traffic
+// versus re-localizing from the original deployment priors — the claim the
+// E13 bench quantifies.
+#pragma once
+
+#include <vector>
+
+#include "core/grid_bncl.hpp"
+#include "core/localizer.hpp"
+#include "deploy/scenario.hpp"
+
+namespace bnloc {
+
+struct MotionSpec {
+  /// Per-epoch random-walk standard deviation, in field units, applied to
+  /// each unknown node independently per axis. Anchors do not move.
+  double step_sigma = 0.02;
+};
+
+enum class TrackingPriorMode {
+  posterior,  ///< epoch-t posterior (+ motion inflation) -> epoch-t+1 prior.
+  original,   ///< keep the deployment-time priors forever (they go stale).
+  uniform,    ///< no pre-knowledge at any epoch.
+};
+
+struct TrackingEpoch {
+  double mean_error = 0.0;  ///< mean error / radio range, this epoch.
+  double q90_error = 0.0;
+  std::size_t iterations = 0;
+  CommStats comm;
+};
+
+struct TrackingConfig {
+  GridBnclConfig engine{};
+  MotionSpec motion{};
+  TrackingPriorMode prior_mode = TrackingPriorMode::posterior;
+  std::size_t epochs = 8;
+};
+
+/// Run a tracking session on top of an initial scenario configuration.
+/// Deterministic in (config seeds, rng). Returns one entry per epoch
+/// (epoch 0 is the initial static localization).
+[[nodiscard]] std::vector<TrackingEpoch> run_tracking(
+    const ScenarioConfig& initial, const TrackingConfig& config, Rng& rng);
+
+/// Convert a (mean, covariance) posterior summary into a Gaussian prior
+/// inflated by one motion step; exposed for tests.
+[[nodiscard]] PriorPtr posterior_to_prior(Vec2 mean, Cov2 cov,
+                                          const MotionSpec& motion);
+
+}  // namespace bnloc

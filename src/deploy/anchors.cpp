@@ -1,0 +1,101 @@
+#include "deploy/anchors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+namespace {
+
+double boundary_distance(Vec2 p, const Aabb& field) noexcept {
+  const double dx = std::min(p.x - field.lo.x, field.hi.x - p.x);
+  const double dy = std::min(p.y - field.lo.y, field.hi.y - p.y);
+  return std::min(dx, dy);
+}
+
+std::vector<std::size_t> select_perimeter(std::span<const Vec2> positions,
+                                          const Aabb& field,
+                                          std::size_t anchor_count) {
+  std::vector<std::size_t> order(positions.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return boundary_distance(positions[a], field) <
+                            boundary_distance(positions[b], field);
+                   });
+  order.resize(anchor_count);
+  return order;
+}
+
+std::vector<std::size_t> select_grid(std::span<const Vec2> positions,
+                                     const Aabb& field,
+                                     std::size_t anchor_count) {
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(anchor_count))));
+  std::vector<std::size_t> chosen;
+  std::vector<bool> used(positions.size(), false);
+  for (std::size_t gy = 0; gy < side && chosen.size() < anchor_count; ++gy) {
+    for (std::size_t gx = 0; gx < side && chosen.size() < anchor_count;
+         ++gx) {
+      const Vec2 target{
+          field.lo.x +
+              field.width() * (static_cast<double>(gx) + 0.5) /
+                  static_cast<double>(side),
+          field.lo.y +
+              field.height() * (static_cast<double>(gy) + 0.5) /
+                  static_cast<double>(side)};
+      std::size_t best = positions.size();
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < positions.size(); ++i) {
+        if (used[i]) continue;
+        const double d = distance_sq(positions[i], target);
+        if (d < best_d) {
+          best_d = d;
+          best = i;
+        }
+      }
+      if (best < positions.size()) {
+        used[best] = true;
+        chosen.push_back(best);
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_anchors(std::span<const Vec2> positions,
+                                        const Aabb& field,
+                                        std::size_t anchor_count,
+                                        AnchorPlacement placement, Rng& rng) {
+  BNLOC_ASSERT(anchor_count <= positions.size(),
+               "cannot have more anchors than nodes");
+  switch (placement) {
+    case AnchorPlacement::random:
+      return rng.sample_indices(positions.size(), anchor_count);
+    case AnchorPlacement::perimeter:
+      return select_perimeter(positions, field, anchor_count);
+    case AnchorPlacement::grid:
+      return select_grid(positions, field, anchor_count);
+  }
+  return rng.sample_indices(positions.size(), anchor_count);
+}
+
+const char* to_string(AnchorPlacement placement) noexcept {
+  switch (placement) {
+    case AnchorPlacement::random:
+      return "random";
+    case AnchorPlacement::perimeter:
+      return "perimeter";
+    case AnchorPlacement::grid:
+      return "grid";
+  }
+  return "?";
+}
+
+}  // namespace bnloc

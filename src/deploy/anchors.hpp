@@ -1,0 +1,29 @@
+// Anchor (reference node) selection strategies.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec2.hpp"
+#include "support/rng.hpp"
+
+namespace bnloc {
+
+enum class AnchorPlacement {
+  random,     ///< uniformly random subset of the deployed nodes.
+  perimeter,  ///< the nodes closest to the field boundary.
+  grid,       ///< nodes nearest to an even grid of target points.
+};
+
+/// Choose `anchor_count` node indices out of `positions` per the strategy.
+/// Anchor geometry strongly affects localization (interior coverage vs
+/// boundary coverage), which is why T1/F2 pin the strategy explicitly.
+[[nodiscard]] std::vector<std::size_t> select_anchors(
+    std::span<const Vec2> positions, const Aabb& field,
+    std::size_t anchor_count, AnchorPlacement placement, Rng& rng);
+
+[[nodiscard]] const char* to_string(AnchorPlacement placement) noexcept;
+
+}  // namespace bnloc

@@ -1,0 +1,108 @@
+#include "deploy/scenario.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+std::size_t Scenario::anchor_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(is_anchor.begin(), is_anchor.end(), true));
+}
+
+Vec2 Scenario::anchor_position(std::size_t node) const {
+  BNLOC_ASSERT(node < node_count(), "node index out of range");
+  BNLOC_ASSERT(is_anchor[node], "position of a non-anchor is hidden");
+  return true_positions[node];
+}
+
+std::vector<std::size_t> Scenario::anchor_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < node_count(); ++i)
+    if (is_anchor[i]) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> Scenario::unknown_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < node_count(); ++i)
+    if (!is_anchor[i]) out.push_back(i);
+  return out;
+}
+
+Scenario build_scenario(const ScenarioConfig& config) {
+  BNLOC_ASSERT(config.node_count >= 2, "scenario needs at least two nodes");
+  BNLOC_ASSERT(config.anchor_fraction >= 0.0 && config.anchor_fraction <= 1.0,
+               "anchor fraction out of range");
+  Rng rng(config.seed);
+  Rng deploy_rng = rng.split(0xdeb107);
+  Rng anchor_rng = rng.split(0xa2c408);
+  Rng link_rng = rng.split(0x114c);
+  Rng prior_rng = rng.split(0xb1a5);
+
+  Scenario s;
+  s.field = config.deployment.field;
+  s.radio = config.radio;
+  s.seed = config.seed;
+
+  Placement placement = deploy(config.deployment, config.node_count,
+                               deploy_rng);
+  s.true_positions = std::move(placement.positions);
+
+  const auto anchor_count = static_cast<std::size_t>(
+      std::max(1.0, std::round(config.anchor_fraction *
+                               static_cast<double>(config.node_count))));
+  const auto anchors =
+      select_anchors(s.true_positions, s.field, anchor_count,
+                     config.anchor_placement, anchor_rng);
+  s.is_anchor.assign(config.node_count, false);
+  for (std::size_t a : anchors) s.is_anchor[a] = true;
+
+  // Apply the requested pre-knowledge quality.
+  s.priors.resize(config.node_count);
+  const auto uniform = std::make_shared<UniformPrior>(s.field);
+  const double bias_mag = config.prior_bias_factor * s.field.width();
+  for (std::size_t i = 0; i < config.node_count; ++i) {
+    switch (config.prior_quality) {
+      case PriorQuality::none:
+        s.priors[i] = uniform;
+        break;
+      case PriorQuality::exact:
+        s.priors[i] = placement.priors[i];
+        break;
+      case PriorQuality::widened:
+        s.priors[i] = placement.priors[i]->widened(config.prior_widen_factor);
+        break;
+      case PriorQuality::biased: {
+        // A systematic, per-node-random direction offset: the operator's
+        // notion of the drop point is simply wrong by ~bias_mag.
+        const double angle = prior_rng.uniform(0.0, 6.283185307179586);
+        const Vec2 offset = Vec2{std::cos(angle), std::sin(angle)} * bias_mag;
+        s.priors[i] = placement.priors[i]->shifted(offset);
+        break;
+      }
+    }
+  }
+
+  const std::vector<Edge> edges =
+      generate_links(s.true_positions, s.field, config.radio, link_rng);
+  s.graph = Graph(config.node_count, edges);
+  return s;
+}
+
+const char* to_string(PriorQuality quality) noexcept {
+  switch (quality) {
+    case PriorQuality::none:
+      return "none";
+    case PriorQuality::exact:
+      return "exact";
+    case PriorQuality::widened:
+      return "widened";
+    case PriorQuality::biased:
+      return "biased";
+  }
+  return "?";
+}
+
+}  // namespace bnloc

@@ -1,0 +1,102 @@
+#include "eval/crlb.hpp"
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+CrlbReport compute_crlb(const Scenario& scenario, bool with_priors) {
+  CrlbReport report;
+  const auto unknowns = scenario.unknown_indices();
+  const std::size_t u_count = unknowns.size();
+  if (u_count == 0) return report;
+
+  // Map node id -> unknown slot.
+  std::vector<std::size_t> slot(scenario.node_count(), u_count);
+  for (std::size_t k = 0; k < u_count; ++k) slot[unknowns[k]] = k;
+
+  Matrix fim(2 * u_count, 2 * u_count);
+
+  // Measurement information. Each undirected link appears twice in the CSR
+  // structure; visit it once via (i < j).
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    for (const Neighbor& nb : scenario.graph.neighbors(i)) {
+      const std::size_t j = nb.node;
+      if (j < i) continue;
+      const bool i_unknown = !scenario.is_anchor[i];
+      const bool j_unknown = !scenario.is_anchor[j];
+      if (!i_unknown && !j_unknown) continue;
+      const Vec2 diff = scenario.true_positions[i] - scenario.true_positions[j];
+      const double dist = diff.norm();
+      if (dist < 1e-9) continue;
+      const Vec2 u = diff / dist;
+      const double sigma = scenario.radio.ranging.sigma_at(dist);
+      const double w = 1.0 / (sigma * sigma);
+      const double jxx = w * u.x * u.x;
+      const double jxy = w * u.x * u.y;
+      const double jyy = w * u.y * u.y;
+      auto add_block = [&](std::size_t a, std::size_t b, double sgn) {
+        fim(2 * a, 2 * b) += sgn * jxx;
+        fim(2 * a, 2 * b + 1) += sgn * jxy;
+        fim(2 * a + 1, 2 * b) += sgn * jxy;
+        fim(2 * a + 1, 2 * b + 1) += sgn * jyy;
+      };
+      if (i_unknown) add_block(slot[i], slot[i], 1.0);
+      if (j_unknown) add_block(slot[j], slot[j], 1.0);
+      if (i_unknown && j_unknown) {
+        add_block(slot[i], slot[j], -1.0);
+        add_block(slot[j], slot[i], -1.0);
+      }
+    }
+  }
+
+  // Prior information (Bayesian CRB).
+  if (with_priors) {
+    for (std::size_t k = 0; k < u_count; ++k) {
+      const Cov2 cov = scenario.priors[unknowns[k]]->covariance();
+      if (cov.det() <= 1e-18) continue;
+      const Cov2 info = cov.inverse();
+      fim(2 * k, 2 * k) += info.xx;
+      fim(2 * k, 2 * k + 1) += info.xy;
+      fim(2 * k + 1, 2 * k) += info.xy;
+      fim(2 * k + 1, 2 * k + 1) += info.yy;
+    }
+  }
+
+  // Invert via Cholesky; regularize if the FIM is singular (possible
+  // without priors when a node has < 2 well-posed constraints).
+  CholeskySolver solver(fim);
+  if (!solver.ok()) {
+    report.regularized = true;
+    const double ridge = 1e-8 * (1.0 + fim.frobenius());
+    for (std::size_t d = 0; d < fim.rows(); ++d) fim(d, d) += ridge;
+    solver = CholeskySolver(fim);
+    BNLOC_ASSERT(solver.ok(), "regularized FIM must factor");
+  }
+
+  // Diagonal 2x2 blocks of the inverse: solve FIM x = e_d for the two
+  // columns touching each unknown and read the block.
+  const std::size_t dim = 2 * u_count;
+  std::vector<double> e(dim, 0.0);
+  report.per_node.resize(u_count);
+  const double r = scenario.radio.range;
+  for (std::size_t k = 0; k < u_count; ++k) {
+    double var_sum = 0.0;
+    for (std::size_t axis = 0; axis < 2; ++axis) {
+      const std::size_t d = 2 * k + axis;
+      e[d] = 1.0;
+      const std::vector<double> col = solver.solve(e);
+      e[d] = 0.0;
+      var_sum += col[d];
+    }
+    report.per_node[k] = std::sqrt(std::max(0.0, var_sum)) / r;
+    report.mean += report.per_node[k];
+  }
+  report.mean /= static_cast<double>(u_count);
+  return report;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,38 @@
+// Cramér-Rao lower bound for cooperative range-based localization.
+//
+// Classic construction (Patwari et al., 2003; Savvides et al., 2003): the
+// Fisher information of a Gaussian range measurement between i and j is the
+// rank-1 form u u^T / sigma^2 with u the inter-node unit vector; couple
+// every measured link into the 2U x 2U network FIM, optionally add each
+// node's prior information (the *Bayesian* CRB — what pre-knowledge buys at
+// the information level), invert, and read per-node 2x2 position covariance
+// bounds off the diagonal.
+//
+// The bound is computed at the true geometry, so it is an evaluation-side
+// reference only; algorithms never see it.
+#pragma once
+
+#include <vector>
+
+#include "deploy/scenario.hpp"
+#include "geom/cov2.hpp"
+
+namespace bnloc {
+
+struct CrlbReport {
+  /// Per-unknown RMS position error lower bound, normalized by radio range
+  /// (indexed like scenario.unknown_indices()).
+  std::vector<double> per_node;
+  /// Network-average of per_node.
+  double mean = 0.0;
+  /// True when the FIM needed regularization (disconnected nodes without
+  /// informative priors make the unpriored FIM singular).
+  bool regularized = false;
+};
+
+/// `with_priors` folds each node's pre-knowledge into the FIM (Bayesian
+/// CRB); without it, nodes are bounded by measurements alone.
+[[nodiscard]] CrlbReport compute_crlb(const Scenario& scenario,
+                                      bool with_priors);
+
+}  // namespace bnloc

@@ -1,0 +1,96 @@
+#include "eval/experiment.hpp"
+
+#include "baselines/amorphous.hpp"
+#include "baselines/apit.hpp"
+#include "baselines/centroid.hpp"
+#include "baselines/dvhop.hpp"
+#include "baselines/mdsmap.hpp"
+#include "baselines/minmax.hpp"
+#include "baselines/refinement.hpp"
+#include "core/gaussian_bncl.hpp"
+#include "core/grid_bncl.hpp"
+#include "core/particle_bncl.hpp"
+
+namespace bnloc {
+
+Rng make_algo_rng(const std::string& algo_name, std::uint64_t seed) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a over the name
+  for (unsigned char c : algo_name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t state = h ^ (seed * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(state));
+}
+
+AggregateRow run_algorithm(const Localizer& algo, const ScenarioConfig& base,
+                           std::size_t trials) {
+  AggregateRow row;
+  row.algo = algo.name();
+  row.trials = trials;
+  std::vector<double> pooled_errors;
+  std::vector<double> trial_means;
+  RunningStats coverage, msgs, bytes, iters, secs, penalized;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    ScenarioConfig cfg = base;
+    cfg.seed = base.seed + t;
+    const Scenario scenario = build_scenario(cfg);
+    Rng rng = make_algo_rng(row.algo, cfg.seed);
+    const LocalizationResult result = algo.localize(scenario, rng);
+    const ErrorReport report = evaluate(scenario, result);
+    pooled_errors.insert(pooled_errors.end(), report.errors.begin(),
+                         report.errors.end());
+    if (!report.errors.empty())
+      trial_means.push_back(report.summary.mean);
+    coverage.add(report.coverage);
+    penalized.add(report.penalized_mean);
+    const std::size_t n = scenario.node_count();
+    msgs.add(result.comm.messages_per_node(n));
+    bytes.add(result.comm.bytes_per_node(n));
+    iters.add(static_cast<double>(result.iterations));
+    secs.add(result.seconds);
+  }
+
+  row.error = summarize(pooled_errors);
+  RunningStats tm;
+  for (double m : trial_means) tm.add(m);
+  row.trial_mean_sem = tm.sem();
+  row.penalized_mean = penalized.mean();
+  row.coverage = coverage.mean();
+  row.msgs_per_node = msgs.mean();
+  row.bytes_per_node = bytes.mean();
+  row.iterations = iters.mean();
+  row.seconds = secs.mean();
+  return row;
+}
+
+std::vector<AggregateRow> run_suite(
+    std::span<const std::unique_ptr<Localizer>> algos,
+    const ScenarioConfig& base, std::size_t trials) {
+  std::vector<AggregateRow> rows;
+  rows.reserve(algos.size());
+  for (const auto& algo : algos)
+    rows.push_back(run_algorithm(*algo, base, trials));
+  return rows;
+}
+
+std::vector<std::unique_ptr<Localizer>> default_suite() {
+  std::vector<std::unique_ptr<Localizer>> suite;
+  suite.push_back(std::make_unique<GridBncl>());
+  suite.push_back(std::make_unique<ParticleBncl>());
+  suite.push_back(std::make_unique<GaussianBncl>());
+  suite.push_back(std::make_unique<RefinementLocalizer>());
+  suite.push_back(std::make_unique<MultilaterationLocalizer>());
+  suite.push_back(std::make_unique<DvHopLocalizer>());
+  suite.push_back(std::make_unique<AmorphousLocalizer>());
+  suite.push_back(std::make_unique<ApitLocalizer>());
+  suite.push_back(std::make_unique<MdsMapLocalizer>());
+  suite.push_back(std::make_unique<MinMaxLocalizer>());
+  suite.push_back(std::make_unique<CentroidLocalizer>());
+  suite.push_back(std::make_unique<CentroidLocalizer>(
+      CentroidConfig{.distance_weighted = true}));
+  return suite;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,49 @@
+// Monte-Carlo experiment runner: the machinery behind every bench table.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "deploy/scenario.hpp"
+#include "eval/metrics.hpp"
+#include "support/stats.hpp"
+
+namespace bnloc {
+
+/// One algorithm's aggregate over a set of trials of one configuration.
+struct AggregateRow {
+  std::string algo;
+  Summary error;            ///< pooled per-node normalized errors.
+  double trial_mean_sem = 0.0;  ///< SEM of the per-trial mean errors.
+  double penalized_mean = 0.0;  ///< mean with unlocalized nodes charged.
+  double coverage = 0.0;        ///< mean over trials.
+  double msgs_per_node = 0.0;
+  double bytes_per_node = 0.0;
+  double iterations = 0.0;
+  double seconds = 0.0;         ///< mean wall time per trial.
+  std::size_t trials = 0;
+};
+
+/// Run `algo` on `trials` scenarios derived from `base` (seed = base.seed +
+/// t) and aggregate. The per-trial algorithm RNG is derived from the trial
+/// seed and the algorithm name so different algorithms never share streams.
+[[nodiscard]] AggregateRow run_algorithm(const Localizer& algo,
+                                         const ScenarioConfig& base,
+                                         std::size_t trials);
+
+/// Convenience: run a whole suite on the same configuration.
+[[nodiscard]] std::vector<AggregateRow> run_suite(
+    std::span<const std::unique_ptr<Localizer>> algos,
+    const ScenarioConfig& base, std::size_t trials);
+
+/// The default algorithm line-up of table T1 (engines + all baselines).
+[[nodiscard]] std::vector<std::unique_ptr<Localizer>> default_suite();
+
+/// Stable per-(algorithm, seed) RNG.
+[[nodiscard]] Rng make_algo_rng(const std::string& algo_name,
+                                std::uint64_t seed);
+
+}  // namespace bnloc

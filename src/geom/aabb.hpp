@@ -1,0 +1,47 @@
+// Axis-aligned bounding box; deployment fields and belief-grid extents.
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec2.hpp"
+
+namespace bnloc {
+
+struct Aabb {
+  Vec2 lo;
+  Vec2 hi;
+
+  constexpr Aabb() = default;
+  constexpr Aabb(Vec2 low, Vec2 high) noexcept : lo(low), hi(high) {}
+
+  [[nodiscard]] static constexpr Aabb unit() noexcept {
+    return {{0.0, 0.0}, {1.0, 1.0}};
+  }
+
+  [[nodiscard]] constexpr double width() const noexcept { return hi.x - lo.x; }
+  [[nodiscard]] constexpr double height() const noexcept {
+    return hi.y - lo.y;
+  }
+  [[nodiscard]] constexpr double area() const noexcept {
+    return width() * height();
+  }
+  [[nodiscard]] constexpr Vec2 center() const noexcept {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+  [[nodiscard]] constexpr bool contains(Vec2 p) const noexcept {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  [[nodiscard]] constexpr bool intersects(const Aabb& o) const noexcept {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y &&
+           o.lo.y <= hi.y;
+  }
+  [[nodiscard]] Vec2 clamp(Vec2 p) const noexcept {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+  /// Grow symmetrically by `margin` on every side.
+  [[nodiscard]] constexpr Aabb inflated(double margin) const noexcept {
+    return {{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+};
+
+}  // namespace bnloc

@@ -1,0 +1,68 @@
+// 2x2 symmetric covariance with the handful of operations localization
+// needs: Mahalanobis forms, inversion, and sampling support.
+#pragma once
+
+#include <cmath>
+
+#include "geom/vec2.hpp"
+
+namespace bnloc {
+
+struct Cov2 {
+  double xx = 0.0;
+  double xy = 0.0;
+  double yy = 0.0;
+
+  [[nodiscard]] static constexpr Cov2 isotropic(double variance) noexcept {
+    return {variance, 0.0, variance};
+  }
+
+  [[nodiscard]] constexpr double det() const noexcept {
+    return xx * yy - xy * xy;
+  }
+  [[nodiscard]] constexpr double trace() const noexcept { return xx + yy; }
+
+  /// Inverse; caller must ensure det() > 0.
+  [[nodiscard]] constexpr Cov2 inverse() const noexcept {
+    const double d = det();
+    return {yy / d, -xy / d, xx / d};
+  }
+
+  [[nodiscard]] constexpr Cov2 operator+(const Cov2& o) const noexcept {
+    return {xx + o.xx, xy + o.xy, yy + o.yy};
+  }
+  [[nodiscard]] constexpr Cov2 scaled(double s) const noexcept {
+    return {xx * s, xy * s, yy * s};
+  }
+
+  /// v^T Sigma v for a direction v.
+  [[nodiscard]] constexpr double quad(Vec2 v) const noexcept {
+    return v.x * v.x * xx + 2.0 * v.x * v.y * xy + v.y * v.y * yy;
+  }
+
+  /// (p-mu)^T Sigma^{-1} (p-mu); caller must ensure det() > 0.
+  [[nodiscard]] constexpr double mahalanobis_sq(Vec2 p,
+                                                Vec2 mu) const noexcept {
+    const Vec2 d = p - mu;
+    const Cov2 inv = inverse();
+    return inv.quad(d);
+  }
+
+  /// RMS positional uncertainty: sqrt(trace)/sqrt(2) per axis equivalent.
+  [[nodiscard]] double rms_radius() const noexcept {
+    return std::sqrt(std::max(0.0, trace()));
+  }
+
+  /// Lower Cholesky factor L with Sigma = L L^T; requires SPD.
+  struct Chol {
+    double l11, l21, l22;
+  };
+  [[nodiscard]] Chol cholesky() const noexcept {
+    const double l11 = std::sqrt(xx);
+    const double l21 = xy / l11;
+    const double l22 = std::sqrt(std::max(1e-300, yy - l21 * l21));
+    return {l11, l21, l22};
+  }
+};
+
+}  // namespace bnloc

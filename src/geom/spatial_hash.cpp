@@ -1,0 +1,113 @@
+#include "geom/spatial_hash.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+SpatialHash::SpatialHash(std::span<const Vec2> points, const Aabb& bounds,
+                         double cell_size)
+    : points_(points.begin(), points.end()),
+      bounds_(bounds),
+      cell_size_(cell_size) {
+  BNLOC_ASSERT(cell_size > 0.0, "cell size must be positive");
+  nx_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(bounds_.width() / cell_size_)));
+  ny_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(bounds_.height() / cell_size_)));
+
+  // Counting sort of point indices into cells (CSR layout).
+  std::vector<std::size_t> counts(nx_ * ny_ + 1, 0);
+  std::vector<std::size_t> cell_ids(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cell_ids[i] = cell_of(points_[i]);
+    ++counts[cell_ids[i] + 1];
+  }
+  for (std::size_t c = 1; c < counts.size(); ++c) counts[c] += counts[c - 1];
+  cell_start_ = counts;
+  entries_.resize(points_.size());
+  std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    entries_[cursor[cell_ids[i]]++] = i;
+}
+
+std::size_t SpatialHash::cell_of(Vec2 p) const noexcept {
+  const Vec2 q = bounds_.clamp(p);
+  auto cx = static_cast<std::size_t>((q.x - bounds_.lo.x) / cell_size_);
+  auto cy = static_cast<std::size_t>((q.y - bounds_.lo.y) / cell_size_);
+  cx = std::min(cx, nx_ - 1);
+  cy = std::min(cy, ny_ - 1);
+  return cell_index(cx, cy);
+}
+
+std::vector<std::size_t> SpatialHash::query_radius(Vec2 center,
+                                                   double radius) const {
+  std::vector<std::size_t> out;
+  const double r2 = radius * radius;
+  const auto reach = static_cast<std::size_t>(
+      std::ceil(radius / cell_size_));
+  const Vec2 q = bounds_.clamp(center);
+  const auto ccx = static_cast<std::size_t>(
+      std::min((q.x - bounds_.lo.x) / cell_size_,
+               static_cast<double>(nx_ - 1)));
+  const auto ccy = static_cast<std::size_t>(
+      std::min((q.y - bounds_.lo.y) / cell_size_,
+               static_cast<double>(ny_ - 1)));
+  const std::size_t x0 = ccx > reach ? ccx - reach : 0;
+  const std::size_t y0 = ccy > reach ? ccy - reach : 0;
+  const std::size_t x1 = std::min(nx_ - 1, ccx + reach);
+  const std::size_t y1 = std::min(ny_ - 1, ccy + reach);
+  for (std::size_t cy = y0; cy <= y1; ++cy) {
+    for (std::size_t cx = x0; cx <= x1; ++cx) {
+      const std::size_t c = cell_index(cx, cy);
+      for (std::size_t e = cell_start_[c]; e < cell_start_[c + 1]; ++e) {
+        const std::size_t i = entries_[e];
+        if (distance_sq(points_[i], center) <= r2) out.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+void SpatialHash::for_each_pair_within(
+    double radius,
+    const std::function<void(std::size_t, std::size_t, double)>& visit) const {
+  const double r2 = radius * radius;
+  const auto reach =
+      static_cast<std::size_t>(std::ceil(radius / cell_size_));
+  for (std::size_t cy = 0; cy < ny_; ++cy) {
+    for (std::size_t cx = 0; cx < nx_; ++cx) {
+      const std::size_t c = cell_index(cx, cy);
+      const std::size_t y1 = std::min(ny_ - 1, cy + reach);
+      const std::size_t x1 = std::min(nx_ - 1, cx + reach);
+      for (std::size_t ny = cy; ny <= y1; ++ny) {
+        // Only scan cells at or after (cx, cy) in row-major order so each
+        // unordered cell pair is visited exactly once.
+        const std::size_t nx0 = (ny == cy) ? cx : (cx > reach ? cx - reach : 0);
+        for (std::size_t nx = nx0; nx <= x1; ++nx) {
+          const std::size_t d = cell_index(nx, ny);
+          for (std::size_t ea = cell_start_[c]; ea < cell_start_[c + 1];
+               ++ea) {
+            const std::size_t i = entries_[ea];
+            const std::size_t eb0 = (c == d) ? ea + 1 : cell_start_[d];
+            for (std::size_t eb = eb0; eb < cell_start_[d + 1]; ++eb) {
+              const std::size_t j = entries_[eb];
+              const double d2 = distance_sq(points_[i], points_[j]);
+              if (d2 <= r2) {
+                const double dist = std::sqrt(d2);
+                if (i < j)
+                  visit(i, j, dist);
+                else
+                  visit(j, i, dist);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace bnloc

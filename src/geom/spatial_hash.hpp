@@ -1,0 +1,53 @@
+// Uniform-grid spatial index for radius queries over node positions.
+//
+// Link generation needs all pairs within radio range; the uniform grid makes
+// that O(n · k) instead of O(n^2) for the densities bnloc simulates.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec2.hpp"
+
+namespace bnloc {
+
+class SpatialHash {
+ public:
+  /// Builds an index over `points` inside `bounds` with cells of size
+  /// `cell_size` (typically the radio range).
+  SpatialHash(std::span<const Vec2> points, const Aabb& bounds,
+              double cell_size);
+
+  /// Indices of points with distance(center, p) <= radius.
+  [[nodiscard]] std::vector<std::size_t> query_radius(Vec2 center,
+                                                      double radius) const;
+
+  /// Visit every unordered pair (i, j), i < j, with distance <= radius.
+  void for_each_pair_within(
+      double radius,
+      const std::function<void(std::size_t, std::size_t, double)>& visit)
+      const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t cell_of(Vec2 p) const noexcept;
+  [[nodiscard]] std::size_t cell_index(std::size_t cx,
+                                       std::size_t cy) const noexcept {
+    return cy * nx_ + cx;
+  }
+
+  std::vector<Vec2> points_;
+  Aabb bounds_;
+  double cell_size_;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  // CSR layout: cell_start_[c] .. cell_start_[c+1] indexes into entries_.
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> entries_;
+};
+
+}  // namespace bnloc

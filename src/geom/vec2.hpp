@@ -1,0 +1,73 @@
+// 2-D vector/point type used throughout bnloc.
+#pragma once
+
+#include <cmath>
+
+namespace bnloc {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double px, double py) noexcept : x(px), y(py) {}
+
+  constexpr Vec2 operator+(Vec2 rhs) const noexcept {
+    return {x + rhs.x, y + rhs.y};
+  }
+  constexpr Vec2 operator-(Vec2 rhs) const noexcept {
+    return {x - rhs.x, y - rhs.y};
+  }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 rhs) noexcept {
+    x += rhs.x;
+    y += rhs.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 rhs) noexcept {
+    x -= rhs.x;
+    y -= rhs.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) noexcept {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 rhs) const noexcept {
+    return x * rhs.x + y * rhs.y;
+  }
+  /// z-component of the 3-D cross product; sign gives turn direction.
+  [[nodiscard]] constexpr double cross(Vec2 rhs) const noexcept {
+    return x * rhs.y - y * rhs.x;
+  }
+  [[nodiscard]] constexpr double norm_sq() const noexcept {
+    return x * x + y * y;
+  }
+  [[nodiscard]] double norm() const noexcept { return std::sqrt(norm_sq()); }
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise rotation by `radians`.
+  [[nodiscard]] Vec2 rotated(double radians) const noexcept {
+    const double c = std::cos(radians);
+    const double s = std::sin(radians);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+constexpr double distance_sq(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm_sq();
+}
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) noexcept {
+  return a + (b - a) * t;
+}
+
+}  // namespace bnloc

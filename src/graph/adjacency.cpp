@@ -1,0 +1,45 @@
+#include "graph/adjacency.hpp"
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+Graph::Graph(std::size_t node_count, std::span<const Edge> edges)
+    : n_(node_count), offsets_(node_count + 1, 0) {
+  for (const Edge& e : edges) {
+    BNLOC_ASSERT(e.u < n_ && e.v < n_, "edge endpoint out of range");
+    BNLOC_ASSERT(e.u != e.v, "self-loops are not meaningful here");
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) offsets_[i] += offsets_[i - 1];
+  entries_.resize(offsets_[n_]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    entries_[cursor[e.u]++] = {e.v, e.weight};
+    entries_[cursor[e.v]++] = {e.u, e.weight};
+  }
+}
+
+std::span<const Neighbor> Graph::neighbors(std::size_t u) const {
+  BNLOC_ASSERT(u < n_, "node index out of range");
+  return {entries_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+}
+
+std::size_t Graph::degree(std::size_t u) const {
+  BNLOC_ASSERT(u < n_, "node index out of range");
+  return offsets_[u + 1] - offsets_[u];
+}
+
+double Graph::average_degree() const noexcept {
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(entries_.size()) / static_cast<double>(n_);
+}
+
+bool Graph::has_edge(std::size_t u, std::size_t v) const {
+  for (const Neighbor& nb : neighbors(u))
+    if (nb.node == v) return true;
+  return false;
+}
+
+}  // namespace bnloc

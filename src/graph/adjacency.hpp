@@ -1,0 +1,44 @@
+// Undirected weighted graph in CSR form: the connectivity graph of a sensor
+// network, with measured distances as edge weights.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bnloc {
+
+struct Edge {
+  std::size_t u = 0;
+  std::size_t v = 0;
+  double weight = 0.0;  ///< measured (noisy) distance on this link.
+};
+
+struct Neighbor {
+  std::size_t node = 0;
+  double weight = 0.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Builds a CSR graph from an undirected edge list over `node_count`
+  /// vertices. Each edge appears in both endpoints' neighbor lists.
+  Graph(std::size_t node_count, std::span<const Edge> edges);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return n_; }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return entries_.size() / 2;
+  }
+  [[nodiscard]] std::span<const Neighbor> neighbors(std::size_t u) const;
+  [[nodiscard]] std::size_t degree(std::size_t u) const;
+  [[nodiscard]] double average_degree() const noexcept;
+  [[nodiscard]] bool has_edge(std::size_t u, std::size_t v) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> offsets_;  ///< size n_+1
+  std::vector<Neighbor> entries_;
+};
+
+}  // namespace bnloc

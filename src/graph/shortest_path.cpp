@@ -1,0 +1,91 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+std::vector<std::size_t> bfs_hops(const Graph& g, std::size_t source) {
+  BNLOC_ASSERT(source < g.node_count(), "BFS source out of range");
+  std::vector<std::size_t> hops(g.node_count(), kUnreachableHops);
+  std::queue<std::size_t> frontier;
+  hops[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.front();
+    frontier.pop();
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (hops[nb.node] == kUnreachableHops) {
+        hops[nb.node] = hops[u] + 1;
+        frontier.push(nb.node);
+      }
+    }
+  }
+  return hops;
+}
+
+std::vector<std::vector<std::size_t>> multi_source_hops(
+    const Graph& g, std::span<const std::size_t> sources) {
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(sources.size());
+  for (std::size_t s : sources) out.push_back(bfs_hops(g, s));
+  return out;
+}
+
+std::vector<double> dijkstra(const Graph& g, std::size_t source) {
+  BNLOC_ASSERT(source < g.node_count(), "dijkstra source out of range");
+  std::vector<double> dist(g.node_count(), kUnreachableDist);
+  using Item = std::pair<double, std::size_t>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Neighbor& nb : g.neighbors(u)) {
+      const double cand = d + nb.weight;
+      if (cand < dist[nb.node]) {
+        dist[nb.node] = cand;
+        heap.emplace(cand, nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+  std::vector<std::size_t> label(g.node_count(), kUnreachableHops);
+  std::size_t next_label = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t start = 0; start < g.node_count(); ++start) {
+    if (label[start] != kUnreachableHops) continue;
+    label[start] = next_label;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (label[nb.node] == kUnreachableHops) {
+          label[nb.node] = next_label;
+          stack.push_back(nb.node);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+std::size_t giant_component_size(const Graph& g) {
+  const auto labels = connected_components(g);
+  if (labels.empty()) return 0;
+  const std::size_t k = *std::max_element(labels.begin(), labels.end()) + 1;
+  std::vector<std::size_t> sizes(k, 0);
+  for (std::size_t l : labels) ++sizes[l];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+}  // namespace bnloc

@@ -1,0 +1,36 @@
+// Hop counts and shortest weighted paths over the connectivity graph.
+// DV-Hop needs multi-source BFS; MDS-MAP needs all-pairs shortest distances.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+
+namespace bnloc {
+
+inline constexpr std::size_t kUnreachableHops =
+    std::numeric_limits<std::size_t>::max();
+inline constexpr double kUnreachableDist =
+    std::numeric_limits<double>::infinity();
+
+/// BFS hop distance from `source` to every node (kUnreachableHops if none).
+[[nodiscard]] std::vector<std::size_t> bfs_hops(const Graph& g,
+                                                std::size_t source);
+
+/// hops[s][v] for each source in `sources`.
+[[nodiscard]] std::vector<std::vector<std::size_t>> multi_source_hops(
+    const Graph& g, std::span<const std::size_t> sources);
+
+/// Dijkstra over edge weights (measured distances) from `source`.
+[[nodiscard]] std::vector<double> dijkstra(const Graph& g, std::size_t source);
+
+/// Connected-component label per node, labels are 0..(k-1) by discovery.
+[[nodiscard]] std::vector<std::size_t> connected_components(const Graph& g);
+
+/// Size of the largest connected component.
+[[nodiscard]] std::size_t giant_component_size(const Graph& g);
+
+}  // namespace bnloc

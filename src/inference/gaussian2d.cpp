@@ -1,0 +1,57 @@
+#include "inference/gaussian2d.hpp"
+
+#include <cmath>
+
+namespace bnloc {
+
+double Gaussian2::density(Vec2 p) const noexcept {
+  const double det = cov.det();
+  if (det <= 0.0) return 0.0;
+  const double md = cov.mahalanobis_sq(p, mean);
+  return std::exp(-0.5 * md) / (6.283185307179586 * std::sqrt(det));
+}
+
+InfoAccumulator::InfoAccumulator(const Gaussian2& prior) noexcept
+    : prior_(prior) {
+  const Cov2 info = prior.cov.det() > 1e-18 ? prior.cov.inverse()
+                                            : Cov2::isotropic(1e-6);
+  lxx_ = info.xx;
+  lxy_ = info.xy;
+  lyy_ = info.yy;
+  ex_ = info.xx * prior.mean.x + info.xy * prior.mean.y;
+  ey_ = info.xy * prior.mean.x + info.yy * prior.mean.y;
+}
+
+void InfoAccumulator::add_range(const Gaussian2& nb, Vec2 current_mean,
+                                double measured,
+                                double ranging_sigma) noexcept {
+  Vec2 u = current_mean - nb.mean;
+  const double dist = u.norm();
+  // Degenerate geometry (means coincide): no usable direction this round.
+  if (dist < 1e-9) return;
+  u = u / dist;
+  // Total variance seen along u: measurement noise + the neighbor's own
+  // positional uncertainty projected on u.
+  const double var = ranging_sigma * ranging_sigma + nb.cov.quad(u);
+  if (var <= 0.0) return;
+  const Vec2 z = nb.mean + u * measured;  // pseudo position observation
+  const double w = 1.0 / var;
+  lxx_ += w * u.x * u.x;
+  lxy_ += w * u.x * u.y;
+  lyy_ += w * u.y * u.y;
+  const double uz = u.x * z.x + u.y * z.y;
+  ex_ += w * u.x * uz;
+  ey_ += w * u.y * uz;
+}
+
+Gaussian2 InfoAccumulator::posterior() const noexcept {
+  const double det = lxx_ * lyy_ - lxy_ * lxy_;
+  if (det <= 1e-18 || !std::isfinite(det)) return prior_;
+  Gaussian2 g;
+  g.cov = Cov2{lyy_ / det, -lxy_ / det, lxx_ / det};
+  g.mean = {g.cov.xx * ex_ + g.cov.xy * ey_,
+            g.cov.xy * ex_ + g.cov.yy * ey_};
+  return g;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,42 @@
+// 2-D Gaussian belief with information-form updates, the representation of
+// the cheap GaussianBncl engine.
+#pragma once
+
+#include "geom/cov2.hpp"
+#include "geom/vec2.hpp"
+
+namespace bnloc {
+
+struct Gaussian2 {
+  Vec2 mean;
+  Cov2 cov = Cov2::isotropic(1.0);
+
+  [[nodiscard]] double density(Vec2 p) const noexcept;
+};
+
+/// Accumulates independent rank-1 range observations in information form:
+/// Lambda = sum H^T H / s^2, eta = sum H^T H z / s^2, then mean = Lambda^-1
+/// eta. Starting information comes from the node's prior.
+class InfoAccumulator {
+ public:
+  /// Initialize from a Gaussian prior belief (moment form).
+  explicit InfoAccumulator(const Gaussian2& prior) noexcept;
+
+  /// Fold in a range measurement to a neighbor whose belief is `nb`:
+  /// a pseudo position observation at nb.mean + u*measured with variance
+  /// (ranging sigma)^2 + neighbor's variance along u, informative only in
+  /// the u direction.
+  void add_range(const Gaussian2& nb, Vec2 current_mean, double measured,
+                 double ranging_sigma) noexcept;
+
+  /// Recover the posterior (moment form). Falls back to the prior when the
+  /// information matrix is near-singular (isolated node).
+  [[nodiscard]] Gaussian2 posterior() const noexcept;
+
+ private:
+  Gaussian2 prior_;
+  double lxx_, lxy_, lyy_;  // information matrix
+  double ex_, ey_;          // information vector
+};
+
+}  // namespace bnloc

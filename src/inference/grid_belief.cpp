@@ -1,0 +1,165 @@
+#include "inference/grid_belief.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+GridBelief::GridBelief(const Aabb& field, std::size_t cells_per_side)
+    : field_(field),
+      side_(cells_per_side),
+      cell_size_(field.width() / static_cast<double>(cells_per_side)),
+      mass_(cells_per_side * cells_per_side, 0.0) {
+  BNLOC_ASSERT(cells_per_side >= 2, "grid needs at least 2x2 cells");
+  set_uniform();
+}
+
+Vec2 GridBelief::cell_center(std::size_t cell) const noexcept {
+  const std::size_t cx = cell % side_;
+  const std::size_t cy = cell / side_;
+  const double sy = field_.height() / static_cast<double>(side_);
+  return {field_.lo.x + (static_cast<double>(cx) + 0.5) * cell_size_,
+          field_.lo.y + (static_cast<double>(cy) + 0.5) * sy};
+}
+
+std::size_t GridBelief::cell_at(Vec2 p) const noexcept {
+  const Vec2 q = field_.clamp(p);
+  const double sy = field_.height() / static_cast<double>(side_);
+  auto cx = static_cast<std::size_t>((q.x - field_.lo.x) / cell_size_);
+  auto cy = static_cast<std::size_t>((q.y - field_.lo.y) / sy);
+  cx = std::min(cx, side_ - 1);
+  cy = std::min(cy, side_ - 1);
+  return cy * side_ + cx;
+}
+
+void GridBelief::set_uniform() noexcept {
+  const double v = 1.0 / static_cast<double>(mass_.size());
+  std::fill(mass_.begin(), mass_.end(), v);
+}
+
+void GridBelief::set_from_prior(const PositionPrior& prior) {
+  double total = 0.0;
+  for (std::size_t c = 0; c < mass_.size(); ++c) {
+    mass_[c] = prior.density(cell_center(c));
+    total += mass_[c];
+  }
+  if (total <= 0.0) {
+    // Prior mass entirely outside the field (e.g. heavily biased prior):
+    // fall back to uniform rather than producing an invalid belief.
+    set_uniform();
+    return;
+  }
+  for (double& m : mass_) m /= total;
+}
+
+void GridBelief::set_delta(Vec2 p) noexcept {
+  std::fill(mass_.begin(), mass_.end(), 0.0);
+  mass_[cell_at(p)] = 1.0;
+}
+
+void GridBelief::multiply(std::span<const double> factor, double floor) {
+  BNLOC_ASSERT(factor.size() == mass_.size(), "factor grid shape mismatch");
+  double total = 0.0;
+  for (std::size_t c = 0; c < mass_.size(); ++c) {
+    mass_[c] *= factor[c] + floor;
+    total += mass_[c];
+  }
+  if (total <= 0.0) {
+    set_uniform();
+    return;
+  }
+  for (double& m : mass_) m /= total;
+}
+
+void GridBelief::mix_with(const GridBelief& previous, double lambda) noexcept {
+  for (std::size_t c = 0; c < mass_.size(); ++c)
+    mass_[c] = (1.0 - lambda) * mass_[c] + lambda * previous.mass_[c];
+}
+
+void GridBelief::normalize() noexcept {
+  const double total = std::accumulate(mass_.begin(), mass_.end(), 0.0);
+  if (total <= 0.0) {
+    set_uniform();
+    return;
+  }
+  for (double& m : mass_) m /= total;
+}
+
+Vec2 GridBelief::mean() const noexcept {
+  Vec2 m{};
+  for (std::size_t c = 0; c < mass_.size(); ++c)
+    m += cell_center(c) * mass_[c];
+  return m;
+}
+
+Cov2 GridBelief::covariance() const noexcept {
+  const Vec2 mu = mean();
+  Cov2 cov{};
+  for (std::size_t c = 0; c < mass_.size(); ++c) {
+    const Vec2 d = cell_center(c) - mu;
+    cov.xx += mass_[c] * d.x * d.x;
+    cov.xy += mass_[c] * d.x * d.y;
+    cov.yy += mass_[c] * d.y * d.y;
+  }
+  // Within-cell variance: a cell is a uniform patch, not a point.
+  const double sy = field_.height() / static_cast<double>(side_);
+  cov.xx += cell_size_ * cell_size_ / 12.0;
+  cov.yy += sy * sy / 12.0;
+  return cov;
+}
+
+Vec2 GridBelief::argmax() const noexcept {
+  const auto it = std::max_element(mass_.begin(), mass_.end());
+  return cell_center(static_cast<std::size_t>(it - mass_.begin()));
+}
+
+double GridBelief::entropy() const noexcept {
+  double h = 0.0;
+  for (double m : mass_)
+    if (m > 0.0) h -= m * std::log(m);
+  return h;
+}
+
+double GridBelief::total_variation(const GridBelief& other) const {
+  BNLOC_ASSERT(mass_.size() == other.mass_.size(),
+               "total variation needs same-shape beliefs");
+  double l1 = 0.0;
+  for (std::size_t c = 0; c < mass_.size(); ++c)
+    l1 += std::abs(mass_[c] - other.mass_[c]);
+  return 0.5 * l1;
+}
+
+SparseBelief GridBelief::sparsify(double mass_fraction,
+                                  std::size_t max_cells) const {
+  BNLOC_ASSERT(mass_fraction > 0.0 && mass_fraction <= 1.0,
+               "mass fraction out of range");
+  // Partial selection: cells sorted by descending mass until the target
+  // fraction (or the cap) is reached.
+  std::vector<std::uint32_t> order(mass_.size());
+  std::iota(order.begin(), order.end(), 0U);
+  const std::size_t keep_at_most = std::min(max_cells, mass_.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(keep_at_most),
+                    order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      return mass_[a] > mass_[b];
+                    });
+  SparseBelief out;
+  double covered = 0.0;
+  for (std::size_t k = 0; k < keep_at_most; ++k) {
+    const std::uint32_t cell = order[k];
+    if (mass_[cell] <= 0.0) break;
+    out.cells.push_back(cell);
+    covered += mass_[cell];
+    if (covered >= mass_fraction) break;
+  }
+  out.covered_fraction = covered;
+  out.mass.resize(out.cells.size());
+  for (std::size_t k = 0; k < out.cells.size(); ++k)
+    out.mass[k] = static_cast<float>(mass_[out.cells[k]] / covered);
+  return out;
+}
+
+}  // namespace bnloc

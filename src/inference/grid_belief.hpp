@@ -1,0 +1,92 @@
+// Dense 2-D grid probability mass function over the deployment field.
+//
+// GridBelief is the belief representation of the grid BNCL engine: the field
+// is discretized into cells x cells squares, each holding the probability
+// that the node lies in that cell. All operations keep the mass normalized
+// (sum == 1) unless stated otherwise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/cov2.hpp"
+#include "geom/vec2.hpp"
+#include "prior/prior.hpp"
+
+namespace bnloc {
+
+/// Sparse summary of a belief: the top cells covering most of the mass.
+/// This is also the over-the-air payload of the distributed protocol.
+struct SparseBelief {
+  std::vector<std::uint32_t> cells;
+  std::vector<float> mass;  ///< renormalized to sum 1 over the kept cells.
+  /// Fraction of the original mass the kept cells covered (not serialized);
+  /// lets callers tell "belief fits in the payload" from "belief truncated".
+  double covered_fraction = 0.0;
+
+  [[nodiscard]] bool empty() const noexcept { return cells.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return cells.size(); }
+  /// Wire size: 4-byte cell id + 2-byte quantized mass per entry.
+  [[nodiscard]] std::size_t payload_bytes() const noexcept {
+    return cells.size() * 6;
+  }
+};
+
+class GridBelief {
+ public:
+  GridBelief(const Aabb& field, std::size_t cells_per_side);
+
+  [[nodiscard]] std::size_t side() const noexcept { return side_; }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return mass_.size();
+  }
+  [[nodiscard]] const Aabb& field() const noexcept { return field_; }
+  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+  [[nodiscard]] std::span<const double> mass() const noexcept {
+    return mass_;
+  }
+
+  [[nodiscard]] Vec2 cell_center(std::size_t cell) const noexcept;
+  [[nodiscard]] std::size_t cell_at(Vec2 p) const noexcept;
+
+  /// Reset to the uniform distribution.
+  void set_uniform() noexcept;
+  /// Rasterize a prior (density at cell centers, then normalize).
+  void set_from_prior(const PositionPrior& prior);
+  /// All mass in the cell containing p (anchor delta).
+  void set_delta(Vec2 p) noexcept;
+
+  /// Pointwise multiply by a non-negative factor grid (same shape), with an
+  /// additive floor that prevents conflicting evidence from zeroing the
+  /// belief; renormalizes. `factor` need not be normalized.
+  void multiply(std::span<const double> factor, double floor);
+
+  /// Linear damping: this = (1-lambda)*this + lambda*previous.
+  void mix_with(const GridBelief& previous, double lambda) noexcept;
+
+  void normalize() noexcept;
+
+  [[nodiscard]] Vec2 mean() const noexcept;
+  [[nodiscard]] Cov2 covariance() const noexcept;
+  /// Center of the highest-mass cell (the MAP estimate at grid resolution).
+  [[nodiscard]] Vec2 argmax() const noexcept;
+  /// Shannon entropy in nats; uniform gives log(cell_count).
+  [[nodiscard]] double entropy() const noexcept;
+  /// Half L1 distance to another belief (total variation), in [0, 1].
+  [[nodiscard]] double total_variation(const GridBelief& other) const;
+
+  /// Top cells covering `mass_fraction` of probability, capped at
+  /// `max_cells`; mass renormalized over the kept cells.
+  [[nodiscard]] SparseBelief sparsify(double mass_fraction,
+                                      std::size_t max_cells) const;
+
+ private:
+  Aabb field_;
+  std::size_t side_;
+  double cell_size_;
+  std::vector<double> mass_;
+};
+
+}  // namespace bnloc

@@ -1,0 +1,125 @@
+#include "inference/particle_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+ParticleSet ParticleSet::from_prior(const PositionPrior& prior,
+                                    std::size_t count, Rng& rng) {
+  BNLOC_ASSERT(count > 0, "particle set needs at least one particle");
+  ParticleSet ps;
+  ps.points_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    ps.points_.push_back(prior.sample(rng));
+  ps.weights_.assign(count, 1.0 / static_cast<double>(count));
+  return ps;
+}
+
+ParticleSet ParticleSet::delta(Vec2 p, std::size_t count) {
+  BNLOC_ASSERT(count > 0, "particle set needs at least one particle");
+  ParticleSet ps;
+  ps.points_.assign(count, p);
+  ps.weights_.assign(count, 1.0 / static_cast<double>(count));
+  return ps;
+}
+
+ParticleSet ParticleSet::from_points(std::vector<Vec2> points) {
+  BNLOC_ASSERT(!points.empty(), "particle set needs at least one particle");
+  ParticleSet ps;
+  ps.points_ = std::move(points);
+  ps.weights_.assign(ps.points_.size(),
+                     1.0 / static_cast<double>(ps.points_.size()));
+  return ps;
+}
+
+void ParticleSet::set_weights(std::span<const double> w) {
+  BNLOC_ASSERT(w.size() == points_.size(), "weight count mismatch");
+  double total = 0.0;
+  for (double x : w) total += x;
+  if (total <= 0.0 || !std::isfinite(total)) {
+    weights_.assign(points_.size(), 1.0 / static_cast<double>(size()));
+    return;
+  }
+  weights_.assign(w.begin(), w.end());
+  for (double& x : weights_) x /= total;
+}
+
+Vec2 ParticleSet::mean() const noexcept {
+  Vec2 m{};
+  for (std::size_t i = 0; i < size(); ++i) m += points_[i] * weights_[i];
+  return m;
+}
+
+Cov2 ParticleSet::covariance() const noexcept {
+  const Vec2 mu = mean();
+  Cov2 cov{};
+  for (std::size_t i = 0; i < size(); ++i) {
+    const Vec2 d = points_[i] - mu;
+    cov.xx += weights_[i] * d.x * d.x;
+    cov.xy += weights_[i] * d.x * d.y;
+    cov.yy += weights_[i] * d.y * d.y;
+  }
+  return cov;
+}
+
+Vec2 ParticleSet::best() const noexcept {
+  const auto it = std::max_element(weights_.begin(), weights_.end());
+  return points_[static_cast<std::size_t>(it - weights_.begin())];
+}
+
+double ParticleSet::effective_sample_size() const noexcept {
+  double sum_sq = 0.0;
+  for (double w : weights_) sum_sq += w * w;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+void ParticleSet::resample_systematic(Rng& rng) {
+  const std::size_t n = size();
+  std::vector<Vec2> out;
+  out.reserve(n);
+  const double step = 1.0 / static_cast<double>(n);
+  double u = rng.uniform() * step;
+  double cum = weights_[0];
+  std::size_t idx = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    while (u > cum && idx + 1 < n) cum += weights_[++idx];
+    out.push_back(points_[idx]);
+    u += step;
+  }
+  points_ = std::move(out);
+  weights_.assign(n, step);
+}
+
+void ParticleSet::regularize(Rng& rng) {
+  const Cov2 cov = covariance();
+  const double sigma_hat =
+      std::sqrt(std::max(1e-12, 0.5 * cov.trace()));
+  const double h =
+      sigma_hat * std::pow(static_cast<double>(size()), -1.0 / 6.0);
+  for (Vec2& p : points_) {
+    p.x += rng.normal(0.0, h);
+    p.y += rng.normal(0.0, h);
+  }
+}
+
+std::vector<std::size_t> ParticleSet::subsample(std::size_t count,
+                                                Rng& rng) const {
+  // Systematic draw over the weight CDF; cheap and low-variance.
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  const double step = 1.0 / static_cast<double>(count);
+  double u = rng.uniform() * step;
+  double cum = weights_[0];
+  std::size_t idx = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    while (u > cum && idx + 1 < size()) cum += weights_[++idx];
+    out.push_back(idx);
+    u += step;
+  }
+  return out;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,63 @@
+// Weighted particle representation of a position belief (NBP-style engine).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/cov2.hpp"
+#include "geom/vec2.hpp"
+#include "prior/prior.hpp"
+#include "support/rng.hpp"
+
+namespace bnloc {
+
+class ParticleSet {
+ public:
+  ParticleSet() = default;
+
+  /// K i.i.d. samples from a prior, uniform weights.
+  static ParticleSet from_prior(const PositionPrior& prior, std::size_t count,
+                                Rng& rng);
+  /// All particles at one point (anchor belief).
+  static ParticleSet delta(Vec2 p, std::size_t count);
+  /// Adopt explicit points with uniform weights.
+  static ParticleSet from_points(std::vector<Vec2> points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] std::span<const Vec2> points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::span<const double> weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] Vec2 point(std::size_t i) const { return points_[i]; }
+
+  /// Replace weights (renormalizes; all-zero input resets to uniform).
+  void set_weights(std::span<const double> w);
+
+  [[nodiscard]] Vec2 mean() const noexcept;
+  [[nodiscard]] Cov2 covariance() const noexcept;
+  /// Highest-weight particle (MAP-style point estimate).
+  [[nodiscard]] Vec2 best() const noexcept;
+  /// 1 / sum(w^2): Kish effective sample size.
+  [[nodiscard]] double effective_sample_size() const noexcept;
+
+  /// Systematic (low-variance) resampling to uniform weights.
+  void resample_systematic(Rng& rng);
+
+  /// Regularization jitter: add Gaussian noise with the rule-of-thumb KDE
+  /// bandwidth h = sigma_hat * n^{-1/6} (2-D Silverman), preventing particle
+  /// impoverishment after resampling.
+  void regularize(Rng& rng);
+
+  /// Draw `count` indices proportional to weight (for message subsampling).
+  [[nodiscard]] std::vector<std::size_t> subsample(std::size_t count,
+                                                   Rng& rng) const;
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<double> weights_;  ///< normalized to sum 1.
+};
+
+}  // namespace bnloc

@@ -1,0 +1,86 @@
+#include "inference/range_kernel.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+RangeKernel RangeKernel::make_range(double measured,
+                                    const RangingSpec& ranging,
+                                    const GridBelief& grid_shape,
+                                    double trunc_sigmas) {
+  RangeKernel k;
+  const double sx = grid_shape.cell_size();
+  const double sy =
+      grid_shape.field().height() / static_cast<double>(grid_shape.side());
+  const double sigma = ranging.sigma_at(measured);
+  const double outer = measured + trunc_sigmas * sigma;
+  const auto rx = static_cast<std::int32_t>(std::ceil(outer / sx));
+  const auto ry = static_cast<std::int32_t>(std::ceil(outer / sy));
+  // Keep only stamps whose center-to-center distance is plausibly the true
+  // range; tiny tail weights are dropped to keep the annulus thin.
+  for (std::int32_t dy = -ry; dy <= ry; ++dy) {
+    for (std::int32_t dx = -rx; dx <= rx; ++dx) {
+      const double r = std::hypot(static_cast<double>(dx) * sx,
+                                  static_cast<double>(dy) * sy);
+      // Width of the acceptance band uses the hypothesis-side sigma, which
+      // for multiplicative noise grows with r.
+      const double band = trunc_sigmas * std::max(sigma, ranging.sigma_at(r));
+      if (std::abs(r - measured) > band + 0.71 * std::max(sx, sy)) continue;
+      const double w = ranging.likelihood(measured, r);
+      if (w <= 0.0) continue;
+      k.offsets_.push_back({dx, dy, w});
+    }
+  }
+  // Normalize stamp weights to peak 1 so message magnitudes are comparable
+  // across links regardless of noise level.
+  double peak = 0.0;
+  for (const Stamp& s : k.offsets_) peak = std::max(peak, s.weight);
+  if (peak > 0.0)
+    for (Stamp& s : k.offsets_) s.weight /= peak;
+  return k;
+}
+
+RangeKernel RangeKernel::make_connectivity(const RadioSpec& radio,
+                                           const GridBelief& grid_shape) {
+  RangeKernel k;
+  const double sx = grid_shape.cell_size();
+  const double sy =
+      grid_shape.field().height() / static_cast<double>(grid_shape.side());
+  const auto rx = static_cast<std::int32_t>(std::ceil(radio.range / sx));
+  const auto ry = static_cast<std::int32_t>(std::ceil(radio.range / sy));
+  for (std::int32_t dy = -ry; dy <= ry; ++dy) {
+    for (std::int32_t dx = -rx; dx <= rx; ++dx) {
+      const double r = std::hypot(static_cast<double>(dx) * sx,
+                                  static_cast<double>(dy) * sy);
+      const double p = radio.link_probability(r);
+      if (p <= 0.0) continue;
+      k.offsets_.push_back({dx, dy, p});
+    }
+  }
+  return k;
+}
+
+void RangeKernel::accumulate(const SparseBelief& src, std::span<double> out,
+                             std::size_t side) const {
+  BNLOC_ASSERT(out.size() == side * side, "output grid shape mismatch");
+  const auto s = static_cast<std::int32_t>(side);
+  for (std::size_t e = 0; e < src.cells.size(); ++e) {
+    const auto cell = src.cells[e];
+    const double m = src.mass[e];
+    const auto cx = static_cast<std::int32_t>(cell % side);
+    const auto cy = static_cast<std::int32_t>(cell / side);
+    for (const Stamp& st : offsets_) {
+      const std::int32_t x = cx + st.dx;
+      const std::int32_t y = cy + st.dy;
+      if (static_cast<std::uint32_t>(x) >= static_cast<std::uint32_t>(s) ||
+          static_cast<std::uint32_t>(y) >= static_cast<std::uint32_t>(s))
+        continue;
+      out[static_cast<std::size_t>(y) * side + static_cast<std::size_t>(x)] +=
+          m * st.weight;
+    }
+  }
+}
+
+}  // namespace bnloc

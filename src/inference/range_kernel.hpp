@@ -1,0 +1,56 @@
+// Precomputed grid kernels for belief-propagation messages.
+//
+// A BP message for a range measurement d is the correlation of the sender's
+// belief with the radially symmetric likelihood L(d | r): an annulus of
+// radius d. Because L depends only on the inter-cell offset, the annulus is
+// precomputed once per measured link as a sparse list of (dx, dy, weight)
+// stamps and replayed for every active source cell — turning an O(G^4)
+// convolution into O(active_cells * annulus_cells).
+//
+// The same machinery with a connection-probability profile gives the
+// negative-evidence kernel ("j did NOT hear i, so i is probably outside j's
+// range").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "inference/grid_belief.hpp"
+#include "radio/connectivity.hpp"
+#include "radio/ranging.hpp"
+
+namespace bnloc {
+
+class RangeKernel {
+ public:
+  /// Annulus likelihood kernel for a measured distance under `ranging`.
+  /// `trunc_sigmas` bounds the ring thickness.
+  static RangeKernel make_range(double measured, const RangingSpec& ranging,
+                                const GridBelief& grid_shape,
+                                double trunc_sigmas = 3.5);
+
+  /// Disk kernel of the link probability p_link(r); used for negative
+  /// evidence as message = 1 - sum_y b(y) * p_link(|x - y|).
+  static RangeKernel make_connectivity(const RadioSpec& radio,
+                                       const GridBelief& grid_shape);
+
+  /// Accumulate sum_y src(y) * K(x - y) into `out` (dense grid buffer, NOT
+  /// cleared here). `side` is the grid side length.
+  void accumulate(const SparseBelief& src, std::span<double> out,
+                  std::size_t side) const;
+
+  [[nodiscard]] std::size_t stamp_count() const noexcept {
+    return offsets_.size();
+  }
+
+ private:
+  struct Stamp {
+    std::int32_t dx;
+    std::int32_t dy;
+    double weight;
+  };
+  std::vector<Stamp> offsets_;
+};
+
+}  // namespace bnloc

@@ -1,0 +1,113 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+std::vector<EigenPair> jacobi_eigen(const Matrix& a, double tol,
+                                    std::size_t max_sweeps) {
+  BNLOC_ASSERT(a.rows() == a.cols(), "jacobi_eigen needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diag_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += d(i, j) * d(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(1.0, d.frobenius());
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= tol * scale) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to rows/columns p and q of D, and accumulate V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<EigenPair> pairs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i].value = d(i, i);
+    pairs[i].vector.resize(n);
+    for (std::size_t k = 0; k < n; ++k) pairs[i].vector[k] = v(k, i);
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const EigenPair& x, const EigenPair& y) {
+              return x.value > y.value;
+            });
+  return pairs;
+}
+
+std::vector<EigenPair> top_eigenpairs(const Matrix& a, std::size_t k, Rng& rng,
+                                      double tol, std::size_t max_iter) {
+  BNLOC_ASSERT(a.rows() == a.cols(), "top_eigenpairs needs a square matrix");
+  const std::size_t n = a.rows();
+  k = std::min(k, n);
+  Matrix work = a;
+  std::vector<EigenPair> out;
+  out.reserve(k);
+
+  for (std::size_t pair = 0; pair < k; ++pair) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.normal();
+    double lambda = 0.0;
+    for (std::size_t it = 0; it < max_iter; ++it) {
+      std::vector<double> w = work.multiply(v);
+      double norm = 0.0;
+      for (double x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm <= 1e-300) break;  // deflated matrix is (near) zero
+      for (double& x : w) x /= norm;
+      double new_lambda = 0.0;
+      const std::vector<double> aw = work.multiply(w);
+      for (std::size_t i = 0; i < n; ++i) new_lambda += w[i] * aw[i];
+      const bool converged = std::abs(new_lambda - lambda) <=
+                             tol * std::max(1.0, std::abs(new_lambda));
+      v = std::move(w);
+      lambda = new_lambda;
+      if (converged && it > 2) break;
+    }
+    EigenPair p;
+    p.value = lambda;
+    p.vector = v;
+    // Hotelling deflation: remove the found component.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        work(i, j) -= lambda * v[i] * v[j];
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,31 @@
+// Symmetric eigensolvers for MDS-MAP: cyclic Jacobi for full spectra and
+// deflated power iteration when only the top-k pairs are needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace bnloc {
+
+struct EigenPair {
+  double value = 0.0;
+  std::vector<double> vector;
+};
+
+/// Full spectrum of a symmetric matrix via cyclic Jacobi rotations.
+/// Pairs are returned sorted by descending eigenvalue.
+[[nodiscard]] std::vector<EigenPair> jacobi_eigen(const Matrix& a,
+                                                  double tol = 1e-12,
+                                                  std::size_t max_sweeps = 64);
+
+/// Top-k eigenpairs of a symmetric matrix by power iteration with Hotelling
+/// deflation. Suited to MDS where k = 2 and n is a few hundred.
+[[nodiscard]] std::vector<EigenPair> top_eigenpairs(const Matrix& a,
+                                                    std::size_t k, Rng& rng,
+                                                    double tol = 1e-10,
+                                                    std::size_t max_iter = 500);
+
+}  // namespace bnloc

@@ -1,0 +1,80 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  BNLOC_ASSERT(cols_ == rhs.rows_, "matrix product shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  BNLOC_ASSERT(same_shape(rhs), "matrix sum shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  BNLOC_ASSERT(same_shape(rhs), "matrix difference shape mismatch");
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double s) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * s;
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> v) const {
+  BNLOC_ASSERT(v.size() == cols_, "matrix-vector shape mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* rowp = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) acc += rowp[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::frobenius() const noexcept {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace bnloc

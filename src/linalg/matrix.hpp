@@ -1,0 +1,58 @@
+// Small dense row-major matrix, sized for localization problems
+// (multilateration Jacobians, MDS double-centering of a few hundred nodes).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bnloc {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> data() const noexcept {
+    return data_;
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix scaled(double s) const;
+  [[nodiscard]] std::vector<double> multiply(
+      std::span<const double> v) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius() const noexcept;
+  [[nodiscard]] bool same_shape(const Matrix& rhs) const noexcept {
+    return rows_ == rhs.rows_ && cols_ == rhs.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace bnloc

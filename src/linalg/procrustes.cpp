@@ -1,0 +1,76 @@
+#include "linalg/procrustes.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+// Closed-form 2-D Procrustes (Umeyama). The optimal rotation derives from
+// the 2x2 cross-covariance H = sum (s_i - s̄)(t_i - t̄)^T via its SVD; in 2-D
+// we can get the rotation angle directly from the components of H, and check
+// the reflected solution explicitly.
+Transform2 fit_procrustes(std::span<const Vec2> source,
+                          std::span<const Vec2> target, bool allow_scale) {
+  BNLOC_ASSERT(source.size() == target.size(),
+               "procrustes needs matched point sets");
+  BNLOC_ASSERT(source.size() >= 2, "procrustes needs at least two pairs");
+  const auto n = static_cast<double>(source.size());
+
+  Vec2 cs{}, ct{};
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    cs += source[i];
+    ct += target[i];
+  }
+  cs = cs / n;
+  ct = ct / n;
+
+  double hxx = 0, hxy = 0, hyx = 0, hyy = 0, src_var = 0;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const Vec2 s = source[i] - cs;
+    const Vec2 t = target[i] - ct;
+    hxx += s.x * t.x;
+    hxy += s.x * t.y;
+    hyx += s.y * t.x;
+    hyy += s.y * t.y;
+    src_var += s.norm_sq();
+  }
+
+  // Rotation-only candidate: angle maximizing trace(R H) with R = rot(a).
+  const double a = std::atan2(hxy - hyx, hxx + hyy);
+  // Reflection candidate: R = rot(b) * diag(1, -1).
+  const double b = std::atan2(hxy + hyx, hxx - hyy);
+  const double gain_rot = std::hypot(hxx + hyy, hxy - hyx);
+  const double gain_ref = std::hypot(hxx - hyy, hxy + hyx);
+  const bool reflect = gain_ref > gain_rot;
+  const double angle = reflect ? b : a;
+
+  Transform2 tf;
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  if (!reflect) {
+    tf.rotation[0][0] = c;
+    tf.rotation[0][1] = -s;
+    tf.rotation[1][0] = s;
+    tf.rotation[1][1] = c;
+  } else {
+    // rot(angle) * diag(1, -1)
+    tf.rotation[0][0] = c;
+    tf.rotation[0][1] = s;
+    tf.rotation[1][0] = s;
+    tf.rotation[1][1] = -c;
+  }
+
+  if (allow_scale && src_var > 1e-300) {
+    tf.scale = (reflect ? gain_ref : gain_rot) / src_var;
+  } else {
+    tf.scale = 1.0;
+  }
+
+  const Vec2 rc{tf.rotation[0][0] * cs.x + tf.rotation[0][1] * cs.y,
+                tf.rotation[1][0] * cs.x + tf.rotation[1][1] * cs.y};
+  tf.translation = ct - rc * tf.scale;
+  return tf;
+}
+
+}  // namespace bnloc

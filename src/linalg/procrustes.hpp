@@ -1,0 +1,32 @@
+// 2-D similarity/rigid alignment (Procrustes) used by MDS-MAP to register a
+// relative map onto the absolute anchor frame.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace bnloc {
+
+struct Transform2 {
+  double scale = 1.0;
+  double rotation[2][2] = {{1.0, 0.0}, {0.0, 1.0}};  ///< includes reflection.
+  Vec2 translation;
+
+  [[nodiscard]] Vec2 apply(Vec2 p) const noexcept {
+    const Vec2 r{rotation[0][0] * p.x + rotation[0][1] * p.y,
+                 rotation[1][0] * p.x + rotation[1][1] * p.y};
+    return r * scale + translation;
+  }
+};
+
+/// Least-squares transform mapping `source[i]` onto `target[i]`.
+/// Reflection is allowed (a flat network embedding has a mirror ambiguity).
+/// With allow_scale=false a rigid transform (rotation+translation) is fit.
+/// Requires at least two point pairs.
+[[nodiscard]] Transform2 fit_procrustes(std::span<const Vec2> source,
+                                        std::span<const Vec2> target,
+                                        bool allow_scale = true);
+
+}  // namespace bnloc

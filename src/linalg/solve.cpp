@@ -1,0 +1,108 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  BNLOC_ASSERT(a.rows() == a.cols(), "cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) return std::nullopt;
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+namespace {
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   std::span<const double> b) {
+  const std::size_t n = l.rows();
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> solve_spd(const Matrix& a,
+                                             std::span<const double> b) {
+  BNLOC_ASSERT(a.rows() == b.size(), "solve_spd shape mismatch");
+  const auto l = cholesky(a);
+  if (!l) return std::nullopt;
+  return cholesky_solve(*l, b);
+}
+
+std::vector<double> CholeskySolver::solve(std::span<const double> b) const {
+  BNLOC_ASSERT(l_.has_value(), "solve on a failed factorization");
+  BNLOC_ASSERT(l_->rows() == b.size(), "CholeskySolver shape mismatch");
+  return cholesky_solve(*l_, b);
+}
+
+std::optional<std::vector<double>> solve_least_squares(
+    const Matrix& a, std::span<const double> b, double ridge) {
+  BNLOC_ASSERT(a.rows() == b.size(), "least squares shape mismatch");
+  const Matrix at = a.transposed();
+  Matrix ata = at * a;
+  if (ridge > 0.0)
+    for (std::size_t i = 0; i < ata.rows(); ++i) ata(i, i) += ridge;
+  const std::vector<double> atb = at.multiply(b);
+  auto x = solve_spd(ata, atb);
+  if (!x && ridge == 0.0) {
+    // Rank-deficient geometry (e.g. collinear anchors): fall back to a small
+    // ridge so callers still receive a usable, if biased, estimate.
+    return solve_least_squares(a, b, 1e-9 * (1.0 + ata.frobenius()));
+  }
+  return x;
+}
+
+Eigen2 eigen_sym2(double a, double b, double c) {
+  Eigen2 out{};
+  const double tr = a + c;
+  const double det = a * c - b * b;
+  const double disc = std::sqrt(std::max(0.0, tr * tr / 4.0 - det));
+  out.value[0] = tr / 2.0 + disc;
+  out.value[1] = tr / 2.0 - disc;
+  for (int k = 0; k < 2; ++k) {
+    // (A - lambda I) v = 0; pick the better-conditioned row.
+    double vx, vy;
+    if (std::abs(b) > 1e-300) {
+      vx = out.value[k] - c;
+      vy = b;
+    } else {
+      // Diagonal matrix: eigenvectors are the axes, larger diagonal first.
+      vx = (k == 0) == (a >= c) ? 1.0 : 0.0;
+      vy = 1.0 - vx;
+    }
+    const double n = std::sqrt(vx * vx + vy * vy);
+    out.vector[k][0] = vx / n;
+    out.vector[k][1] = vy / n;
+  }
+  return out;
+}
+
+}  // namespace bnloc

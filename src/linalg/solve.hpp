@@ -1,0 +1,49 @@
+// Dense solvers: Cholesky for SPD systems, least squares via the normal
+// equations with Tikhonov fallback. Problem sizes are tiny (2-4 unknowns for
+// multilateration, <= network size for MDS), so simplicity beats pivoting
+// sophistication here.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bnloc {
+
+/// Cholesky factorization A = L L^T for symmetric positive-definite A.
+/// Returns nullopt when A is not (numerically) SPD.
+[[nodiscard]] std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solve A x = b with A SPD; nullopt when factorization fails.
+[[nodiscard]] std::optional<std::vector<double>> solve_spd(
+    const Matrix& a, std::span<const double> b);
+
+/// Factor once, solve many right-hand sides (CRLB needs one solve per
+/// column of interest).
+class CholeskySolver {
+ public:
+  explicit CholeskySolver(const Matrix& a) : l_(cholesky(a)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return l_.has_value(); }
+  /// Requires ok().
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+ private:
+  std::optional<Matrix> l_;
+};
+
+/// Least squares: minimize ||A x - b||_2 via normal equations. When A^T A is
+/// rank-deficient, retries with ridge regularization (lambda * I).
+[[nodiscard]] std::optional<std::vector<double>> solve_least_squares(
+    const Matrix& a, std::span<const double> b, double ridge = 0.0);
+
+/// 2x2 symmetric eigen-decomposition; eigenvalues descending.
+struct Eigen2 {
+  double value[2];
+  double vector[2][2];  ///< vector[k] is the unit eigenvector of value[k].
+};
+[[nodiscard]] Eigen2 eigen_sym2(double a, double b, double c);  // [[a b];[b c]]
+
+}  // namespace bnloc

@@ -1,0 +1,38 @@
+// Communication accounting for distributed localization protocols.
+//
+// The engines run centrally for speed, but every belief exchange is metered
+// as if it were a real broadcast: one transmission per node per round, one
+// reception per neighbor that the loss process let through. Experiment F9
+// reads these counters.
+#pragma once
+
+#include <cstddef>
+
+namespace bnloc {
+
+struct CommStats {
+  std::size_t rounds = 0;
+  std::size_t messages_sent = 0;      ///< broadcasts transmitted.
+  std::size_t messages_received = 0;  ///< successful (node, neighbor) pairs.
+  std::size_t bytes_sent = 0;         ///< payload bytes transmitted.
+
+  void merge(const CommStats& other) noexcept {
+    rounds += other.rounds;
+    messages_sent += other.messages_sent;
+    messages_received += other.messages_received;
+    bytes_sent += other.bytes_sent;
+  }
+
+  [[nodiscard]] double messages_per_node(std::size_t nodes) const noexcept {
+    return nodes ? static_cast<double>(messages_sent) /
+                       static_cast<double>(nodes)
+                 : 0.0;
+  }
+  [[nodiscard]] double bytes_per_node(std::size_t nodes) const noexcept {
+    return nodes ? static_cast<double>(bytes_sent) /
+                       static_cast<double>(nodes)
+                 : 0.0;
+  }
+};
+
+}  // namespace bnloc

@@ -1,0 +1,45 @@
+#include "net/sync_radio.hpp"
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+SyncRadio::SyncRadio(const Graph& graph, double loss, Rng rng)
+    : graph_(&graph), loss_(loss), rng_(rng) {
+  BNLOC_ASSERT(loss >= 0.0 && loss < 1.0, "loss probability out of range");
+  offsets_.resize(graph.node_count() + 1, 0);
+  for (std::size_t v = 0; v < graph.node_count(); ++v)
+    offsets_[v + 1] = offsets_[v] + graph.degree(v);
+  delivered_.assign(offsets_.back(), 1);
+}
+
+void SyncRadio::begin_round() {
+  ++stats_.rounds;
+  round_open_ = true;
+  if (loss_ <= 0.0) return;  // flags stay all-delivered
+  for (auto& flag : delivered_)
+    flag = rng_.bernoulli(loss_) ? 0 : 1;
+}
+
+std::size_t SyncRadio::link_slot(std::size_t from, std::size_t to) const {
+  const auto nbs = graph_->neighbors(to);
+  for (std::size_t k = 0; k < nbs.size(); ++k)
+    if (nbs[k].node == from) return offsets_[to] + k;
+  BNLOC_ASSERT(false, "delivered() queried for a non-link");
+  return 0;
+}
+
+void SyncRadio::record_broadcast(std::size_t node, std::size_t bytes) {
+  BNLOC_ASSERT(round_open_, "broadcast outside a round");
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  for (const Neighbor& nb : graph_->neighbors(node))
+    if (delivered(node, nb.node)) ++stats_.messages_received;
+}
+
+bool SyncRadio::delivered(std::size_t from, std::size_t to) const {
+  if (loss_ <= 0.0) return true;
+  return delivered_[link_slot(from, to)] != 0;
+}
+
+}  // namespace bnloc

@@ -1,0 +1,54 @@
+// Synchronous-round broadcast radio with Bernoulli packet loss.
+//
+// Model: time advances in rounds. In a round every participating node
+// broadcasts one summary packet; each directed link (u -> v) independently
+// delivers or drops it. Engines query `delivered(u, v)` to decide whether v
+// sees u's *current* belief this round or must keep using the last copy it
+// received. This is the textbook abstraction of a TDMA/gossip localization
+// protocol and is what lets F12 study loss robustness without a full MAC
+// simulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "net/comm_stats.hpp"
+#include "support/rng.hpp"
+
+namespace bnloc {
+
+class SyncRadio {
+ public:
+  /// `loss` is the independent per-reception drop probability in [0, 1).
+  SyncRadio(const Graph& graph, double loss, Rng rng);
+
+  /// Start a new round; re-draws the loss process for every directed link.
+  void begin_round();
+
+  /// Record that `node` broadcast a payload of `bytes` this round.
+  void record_broadcast(std::size_t node, std::size_t bytes);
+
+  /// Did the broadcast of `from` reach `to` this round? Only meaningful for
+  /// neighbors; non-neighbors never hear each other.
+  [[nodiscard]] bool delivered(std::size_t from, std::size_t to) const;
+
+  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] double loss() const noexcept { return loss_; }
+
+ private:
+  /// Dense index of directed link (u, v) into delivered_.
+  [[nodiscard]] std::size_t link_slot(std::size_t from, std::size_t to) const;
+
+  const Graph* graph_;
+  double loss_;
+  Rng rng_;
+  // CSR-aligned delivery flags: slot k corresponds to the k-th (node,
+  // neighbor) pair in graph order.
+  std::vector<std::size_t> offsets_;
+  std::vector<unsigned char> delivered_;
+  CommStats stats_;
+  bool round_open_ = false;
+};
+
+}  // namespace bnloc

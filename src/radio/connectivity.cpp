@@ -1,0 +1,55 @@
+#include "radio/connectivity.hpp"
+
+#include <algorithm>
+
+#include "geom/spatial_hash.hpp"
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+double RadioSpec::link_probability(double dist) const noexcept {
+  if (dist <= 0.0) return 1.0;
+  switch (connectivity) {
+    case ConnectivityType::unit_disk:
+      return dist <= range ? 1.0 : 0.0;
+    case ConnectivityType::quasi_udg: {
+      const double inner = (1.0 - qudg_alpha) * range;
+      if (dist <= inner) return 1.0;
+      if (dist >= range) return 0.0;
+      return (range - dist) / (range - inner);
+    }
+  }
+  return 0.0;
+}
+
+RadioSpec make_radio(double range, RangingType type, double noise_factor,
+                     ConnectivityType conn, double qudg_alpha) noexcept {
+  RadioSpec spec;
+  spec.range = range;
+  spec.connectivity = conn;
+  spec.qudg_alpha = qudg_alpha;
+  spec.ranging.type = type;
+  spec.ranging.noise_factor = noise_factor;
+  spec.ranging.range = range;
+  return spec;
+}
+
+std::vector<Edge> generate_links(std::span<const Vec2> positions,
+                                 const Aabb& bounds, const RadioSpec& radio,
+                                 Rng& rng) {
+  BNLOC_ASSERT(radio.range > 0.0, "radio range must be positive");
+  std::vector<Edge> edges;
+  const SpatialHash index(positions, bounds, radio.range);
+  index.for_each_pair_within(
+      radio.range, [&](std::size_t i, std::size_t j, double dist) {
+        if (!rng.bernoulli(radio.link_probability(dist))) return;
+        Edge e;
+        e.u = i;
+        e.v = j;
+        e.weight = radio.ranging.measure(dist, rng);
+        edges.push_back(e);
+      });
+  return edges;
+}
+
+}  // namespace bnloc

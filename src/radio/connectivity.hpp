@@ -1,0 +1,45 @@
+// Connectivity (who can hear whom) models and measured-link generation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec2.hpp"
+#include "graph/adjacency.hpp"
+#include "radio/ranging.hpp"
+#include "support/rng.hpp"
+
+namespace bnloc {
+
+enum class ConnectivityType {
+  unit_disk,  ///< link iff distance <= range.
+  quasi_udg,  ///< certain link below (1-alpha)*range, linear fade to range.
+};
+
+struct RadioSpec {
+  double range = 0.15;
+  ConnectivityType connectivity = ConnectivityType::unit_disk;
+  double qudg_alpha = 0.4;  ///< width of the quasi-UDG transition band.
+  RangingSpec ranging{};
+
+  /// Probability that two nodes at true distance d share a link.
+  [[nodiscard]] double link_probability(double dist) const noexcept;
+};
+
+/// Normalizes derived fields (keeps ranging.range in sync with range).
+[[nodiscard]] RadioSpec make_radio(double range, RangingType type,
+                                   double noise_factor,
+                                   ConnectivityType conn =
+                                       ConnectivityType::unit_disk,
+                                   double qudg_alpha = 0.4) noexcept;
+
+/// Generate the measured link set for a set of node positions: each
+/// geometric neighbor pair is kept with link_probability, and kept links get
+/// one shared noisy distance measurement.
+[[nodiscard]] std::vector<Edge> generate_links(std::span<const Vec2> positions,
+                                               const Aabb& bounds,
+                                               const RadioSpec& radio,
+                                               Rng& rng);
+
+}  // namespace bnloc

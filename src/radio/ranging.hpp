@@ -1,0 +1,42 @@
+// Ranging (distance-measurement) noise models.
+//
+// Two models bracket what 2007-era WSN hardware provided:
+//  * gaussian  — additive noise with a fixed standard deviation expressed as
+//                a fraction of the radio range (TOA/TDOA-style ranging);
+//  * log_normal — multiplicative noise, d̂ = d · exp(N(0, σ)), the standard
+//                abstraction of RSSI ranging under log-normal shadowing
+//                (noise grows with distance, estimates are never negative).
+//
+// The same spec provides both the forward model (measure) and the likelihood
+// used by the Bayesian engines, so simulation and inference stay consistent
+// by construction — or deliberately inconsistent, for model-mismatch studies,
+// by giving the engine a different spec than the simulator.
+#pragma once
+
+#include "support/rng.hpp"
+
+namespace bnloc {
+
+enum class RangingType { gaussian, log_normal };
+
+struct RangingSpec {
+  RangingType type = RangingType::log_normal;
+  /// gaussian: sigma = noise_factor * range (absolute).
+  /// log_normal: sigma of the underlying normal (multiplicative).
+  double noise_factor = 0.1;
+  double range = 0.15;  ///< radio range; scales the gaussian sigma.
+
+  /// Draw a noisy measurement of a true distance (always > 0).
+  [[nodiscard]] double measure(double true_dist, Rng& rng) const noexcept;
+
+  /// Likelihood density of observing `measured` if the true distance were
+  /// `hypothesis`. Not normalized across hypotheses (it is a likelihood).
+  [[nodiscard]] double likelihood(double measured,
+                                  double hypothesis) const noexcept;
+
+  /// Approximate absolute standard deviation around a given measurement;
+  /// used to size kernel supports and linearized updates.
+  [[nodiscard]] double sigma_at(double measured) const noexcept;
+};
+
+}  // namespace bnloc

@@ -1,0 +1,61 @@
+#include "radio/rssi.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+namespace {
+constexpr double kLn10 = 2.302585092994046;
+}
+
+double RssiModel::mean_rssi(double dist) const noexcept {
+  const double d = std::max(dist, ref_distance);
+  return tx_power_dbm - ref_loss_db -
+         10.0 * path_loss_exponent * std::log10(d / ref_distance);
+}
+
+double RssiModel::sample_rssi(double dist, Rng& rng) const noexcept {
+  return mean_rssi(dist) + rng.normal(0.0, shadowing_db);
+}
+
+double RssiModel::distance_from_rssi(double rssi_dbm) const noexcept {
+  const double exponent =
+      (tx_power_dbm - ref_loss_db - rssi_dbm) /
+      (10.0 * path_loss_exponent);
+  return ref_distance * std::pow(10.0, exponent);
+}
+
+double RssiModel::nominal_range() const noexcept {
+  return distance_from_rssi(sensitivity_dbm);
+}
+
+double RssiModel::ranging_sigma() const noexcept {
+  return kLn10 / (10.0 * path_loss_exponent) * shadowing_db;
+}
+
+RangingSpec RssiModel::equivalent_ranging() const noexcept {
+  RangingSpec spec;
+  spec.type = RangingType::log_normal;
+  spec.noise_factor = ranging_sigma();
+  spec.range = nominal_range();
+  return spec;
+}
+
+RssiModel RssiModel::with_exponent(double exponent) const noexcept {
+  BNLOC_DEBUG_ASSERT(exponent > 0.0, "path-loss exponent must be positive");
+  RssiModel copy = *this;
+  copy.path_loss_exponent = exponent;
+  return copy;
+}
+
+double rssi_range_measurement(const RssiModel& truth,
+                              const RssiModel& believed,
+                              double true_distance, Rng& rng) {
+  const double rssi = truth.sample_rssi(true_distance, rng);
+  if (rssi < truth.sensitivity_dbm) return -1.0;
+  return believed.distance_from_rssi(rssi);
+}
+
+}  // namespace bnloc

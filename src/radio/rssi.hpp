@@ -1,0 +1,58 @@
+// Physical RSSI layer: the log-distance path-loss model that the library's
+// log-normal ranging abstraction is the consequence of.
+//
+//   P_rx(d) [dBm] = P_tx - PL(d0) - 10 n log10(d / d0) + X_sigma,
+//
+// with path-loss exponent n (2 free space … 4 indoor), reference loss at
+// d0, and shadowing X_sigma ~ N(0, sigma_db). Inverting the deterministic
+// part turns a received power into a distance estimate whose error is
+// multiplicative log-normal with sigma_ln = ln(10)/(10 n) * sigma_db —
+// exactly `RangingSpec{log_normal, sigma_ln}`. Exposing the dBm layer lets
+// experiments be phrased in radio terms (shadowing dB, path-loss exponent,
+// receiver sensitivity) and lets calibration error — believing a wrong
+// exponent — be studied as a *model mismatch*, distinct from noise.
+#pragma once
+
+#include "radio/ranging.hpp"
+#include "support/rng.hpp"
+
+namespace bnloc {
+
+struct RssiModel {
+  double tx_power_dbm = 0.0;      ///< transmit power.
+  double ref_loss_db = 40.0;      ///< PL(d0): path loss at reference d0.
+  double ref_distance = 0.01;     ///< d0, in field units.
+  double path_loss_exponent = 3.0;  ///< n.
+  double shadowing_db = 4.0;      ///< sigma of X_sigma.
+  double sensitivity_dbm = -95.0;  ///< below this the packet is lost.
+
+  /// Mean received power at distance d (no shadowing).
+  [[nodiscard]] double mean_rssi(double dist) const noexcept;
+  /// One shadowed RSSI sample.
+  [[nodiscard]] double sample_rssi(double dist, Rng& rng) const noexcept;
+  /// Invert the deterministic model: RSSI -> distance estimate.
+  [[nodiscard]] double distance_from_rssi(double rssi_dbm) const noexcept;
+  /// Deterministic radio range: where mean RSSI crosses sensitivity.
+  [[nodiscard]] double nominal_range() const noexcept;
+  /// The multiplicative ranging sigma this model induces:
+  /// sigma_ln = ln(10) / (10 n) * shadowing_db.
+  [[nodiscard]] double ranging_sigma() const noexcept;
+
+  /// The equivalent abstract ranging spec (type log_normal) — what the
+  /// inference engines consume.
+  [[nodiscard]] RangingSpec equivalent_ranging() const noexcept;
+
+  /// A copy with a miscalibrated path-loss exponent (systematic ranging
+  /// bias: distances scale by a distance-dependent power law).
+  [[nodiscard]] RssiModel with_exponent(double exponent) const noexcept;
+};
+
+/// End-to-end RSSI ranging: sample a shadowed RSSI at the true distance
+/// under `truth`, then invert it under `believed` (equal to `truth` when
+/// the radio is perfectly calibrated). Returns the distance estimate, or a
+/// negative value when the packet fell below the receiver sensitivity.
+[[nodiscard]] double rssi_range_measurement(const RssiModel& truth,
+                                            const RssiModel& believed,
+                                            double true_distance, Rng& rng);
+
+}  // namespace bnloc

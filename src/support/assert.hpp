@@ -1,0 +1,33 @@
+// Lightweight contract checking for bnloc.
+//
+// BNLOC_ASSERT is active in all build types: localization experiments are
+// cheap relative to the cost of silently propagating a bad belief, and the
+// checks sit outside inner loops. Inner-loop-grade checks use
+// BNLOC_DEBUG_ASSERT, which compiles away in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bnloc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "bnloc assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace bnloc::detail
+
+#define BNLOC_ASSERT(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr)) [[unlikely]]                                        \
+      ::bnloc::detail::assert_fail(#expr, __FILE__, __LINE__, msg);  \
+  } while (false)
+
+#ifdef NDEBUG
+#define BNLOC_DEBUG_ASSERT(expr, msg) ((void)0)
+#else
+#define BNLOC_DEBUG_ASSERT(expr, msg) BNLOC_ASSERT(expr, msg)
+#endif

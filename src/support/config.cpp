@@ -1,0 +1,47 @@
+#include "support/config.hpp"
+
+#include <cstdlib>
+
+namespace bnloc {
+
+std::size_t env_size_t(const char* name, std::size_t fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  return (end && *end == '\0') ? static_cast<std::size_t>(v) : fallback;
+}
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  return (end && *end == '\0') ? v : fallback;
+}
+
+bool env_flag(const char* name) noexcept {
+  const char* raw = std::getenv(name);
+  if (!raw) return false;
+  const std::string v = raw;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw && *raw) ? std::string(raw) : fallback;
+}
+
+BenchConfig BenchConfig::from_env() noexcept {
+  BenchConfig cfg;
+  cfg.fast = env_flag("BNLOC_FAST");
+  if (cfg.fast) {
+    cfg.trials = 3;
+    cfg.nodes = 100;
+  }
+  cfg.trials = env_size_t("BNLOC_TRIALS", cfg.trials);
+  cfg.nodes = env_size_t("BNLOC_NODES", cfg.nodes);
+  return cfg;
+}
+
+}  // namespace bnloc

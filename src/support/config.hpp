@@ -1,0 +1,31 @@
+// Environment-driven configuration for bench binaries.
+//
+// All bench targets run argument-free (the harness iterates build/bench/*),
+// so sizing knobs come from the environment: BNLOC_TRIALS, BNLOC_NODES,
+// BNLOC_FAST. See DESIGN.md section 5.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace bnloc {
+
+[[nodiscard]] std::size_t env_size_t(const char* name,
+                                     std::size_t fallback) noexcept;
+[[nodiscard]] double env_double(const char* name, double fallback) noexcept;
+[[nodiscard]] bool env_flag(const char* name) noexcept;
+[[nodiscard]] std::string env_string(const char* name,
+                                     const std::string& fallback);
+
+/// Shared sizing for the experiment benches.
+struct BenchConfig {
+  std::size_t trials = 8;    ///< Monte-Carlo repetitions per configuration.
+                             ///< (pooled per-node errors give ~1.5k samples
+                             ///< per table cell at the 200-node default).
+  std::size_t nodes = 200;   ///< default network size.
+  bool fast = false;         ///< BNLOC_FAST=1 shrinks everything for CI.
+
+  static BenchConfig from_env() noexcept;
+};
+
+}  // namespace bnloc

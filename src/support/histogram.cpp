@@ -1,0 +1,87 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  BNLOC_ASSERT(hi > lo, "histogram range must be non-empty");
+  BNLOC_ASSERT(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(
+      std::floor(t * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  BNLOC_ASSERT(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  BNLOC_ASSERT(bin < counts_.size(), "histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char label[64];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) *
+                                 static_cast<double>(width));
+    std::snprintf(label, sizeof(label), "%8.4f |", bin_center(b));
+    out += label;
+    out.append(bar, '#');
+    std::snprintf(label, sizeof(label), " %zu\n", counts_[b]);
+    out += label;
+  }
+  return out;
+}
+
+Ecdf::Ecdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::inverse(double q) const {
+  BNLOC_ASSERT(!sorted_.empty(), "inverse of empty ECDF");
+  BNLOC_ASSERT(q >= 0.0 && q <= 1.0, "ECDF quantile out of range");
+  if (q <= 0.0) return sorted_.front();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+}  // namespace bnloc

@@ -1,0 +1,56 @@
+// Fixed-bin histogram and empirical CDF, used for error distributions (F8).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bnloc {
+
+/// Equal-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  /// Fraction of samples in this bin.
+  [[nodiscard]] double density(std::size_t bin) const;
+  /// Bar-chart rendering for terminal reports.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Empirical CDF. Construction sorts a copy of the sample.
+class Ecdf {
+ public:
+  explicit Ecdf(std::span<const double> sample);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const noexcept;
+  /// Smallest sample value v with P(X <= v) >= q.
+  [[nodiscard]] double inverse(double q) const;
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace bnloc

@@ -1,0 +1,51 @@
+// Minimal fixed-size thread pool for Monte-Carlo fan-out.
+//
+// The evaluation harness runs independent trials; parallel_for_index splits
+// them across worker threads. Determinism is preserved because every trial
+// derives its own Rng substream from (base seed, trial index), never from
+// shared generator state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bnloc {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue one task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, count) across the pool; blocks until done.
+void parallel_for_index(ThreadPool& pool, std::size_t count,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace bnloc

@@ -1,0 +1,87 @@
+// Unit tests for anchor selection (deploy/anchors.hpp).
+#include "deploy/anchors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace bnloc {
+namespace {
+
+std::vector<Vec2> random_positions(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+  return pts;
+}
+
+class AnchorStrategies : public ::testing::TestWithParam<AnchorPlacement> {};
+
+TEST_P(AnchorStrategies, CorrectCountDistinctInRange) {
+  const auto pts = random_positions(100, 1);
+  Rng rng(2);
+  const auto anchors =
+      select_anchors(pts, Aabb::unit(), 15, GetParam(), rng);
+  EXPECT_EQ(anchors.size(), 15u);
+  std::set<std::size_t> unique(anchors.begin(), anchors.end());
+  EXPECT_EQ(unique.size(), 15u);
+  for (std::size_t a : anchors) EXPECT_LT(a, 100u);
+}
+
+TEST_P(AnchorStrategies, AllNodesCanBeAnchors) {
+  const auto pts = random_positions(10, 3);
+  Rng rng(4);
+  const auto anchors =
+      select_anchors(pts, Aabb::unit(), 10, GetParam(), rng);
+  std::set<std::size_t> unique(anchors.begin(), anchors.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, AnchorStrategies,
+                         ::testing::Values(AnchorPlacement::random,
+                                           AnchorPlacement::perimeter,
+                                           AnchorPlacement::grid));
+
+TEST(Anchors, PerimeterPicksBoundaryNodes) {
+  // Nodes on the boundary plus nodes dead center.
+  std::vector<Vec2> pts = {{0.01, 0.5}, {0.99, 0.5}, {0.5, 0.01},
+                           {0.5, 0.99}, {0.5, 0.5},  {0.45, 0.55}};
+  Rng rng(1);
+  const auto anchors = select_anchors(pts, Aabb::unit(), 4,
+                                      AnchorPlacement::perimeter, rng);
+  std::set<std::size_t> chosen(anchors.begin(), anchors.end());
+  EXPECT_EQ(chosen, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Anchors, GridSpreadsAcrossQuadrants) {
+  const auto pts = random_positions(400, 5);
+  Rng rng(6);
+  const auto anchors =
+      select_anchors(pts, Aabb::unit(), 16, AnchorPlacement::grid, rng);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (std::size_t a : anchors)
+    ++quadrant[(pts[a].x > 0.5 ? 1 : 0) + (pts[a].y > 0.5 ? 2 : 0)];
+  for (int q : quadrant) EXPECT_GE(q, 2);
+}
+
+TEST(Anchors, RandomIsDeterministicInRng) {
+  const auto pts = random_positions(50, 7);
+  Rng a(9), b(9);
+  const auto s1 = select_anchors(pts, Aabb::unit(), 8,
+                                 AnchorPlacement::random, a);
+  const auto s2 = select_anchors(pts, Aabb::unit(), 8,
+                                 AnchorPlacement::random, b);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Anchors, ToStringNames) {
+  EXPECT_STREQ(to_string(AnchorPlacement::random), "random");
+  EXPECT_STREQ(to_string(AnchorPlacement::perimeter), "perimeter");
+  EXPECT_STREQ(to_string(AnchorPlacement::grid), "grid");
+}
+
+}  // namespace
+}  // namespace bnloc

@@ -1,0 +1,242 @@
+// Unit and behavioral tests for the baseline localizers (baselines/).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/centroid.hpp"
+#include "baselines/dvhop.hpp"
+#include "baselines/mdsmap.hpp"
+#include "baselines/minmax.hpp"
+#include "baselines/refinement.hpp"
+#include "eval/metrics.hpp"
+
+namespace bnloc {
+namespace {
+
+// Hand-built scenario: node 0 unknown at (0.5, 0.5), anchors around it,
+// exact (noiseless) measurements.
+Scenario star_scenario() {
+  Scenario s;
+  s.field = Aabb::unit();
+  s.radio = make_radio(0.5, RangingType::gaussian, 0.05);
+  s.true_positions = {{0.5, 0.5}, {0.2, 0.5}, {0.8, 0.5}, {0.5, 0.2},
+                      {0.5, 0.8}};
+  s.is_anchor = {false, true, true, true, true};
+  const auto uniform = std::make_shared<UniformPrior>(s.field);
+  s.priors.assign(5, uniform);
+  std::vector<Edge> edges;
+  for (std::size_t a = 1; a < 5; ++a)
+    edges.push_back({0, a, distance(s.true_positions[0],
+                                    s.true_positions[a])});
+  s.graph = Graph(5, edges);
+  return s;
+}
+
+/// Scenario built by the library with zero ranging noise: cooperative
+/// ranging methods should be near-exact here.
+Scenario noiseless_network(std::uint64_t seed, std::size_t n = 120) {
+  ScenarioConfig cfg;
+  cfg.node_count = n;
+  cfg.anchor_fraction = 0.12;
+  cfg.radio = make_radio(0.18, RangingType::gaussian, 1e-4);
+  cfg.seed = seed;
+  return build_scenario(cfg);
+}
+
+TEST(Centroid, SymmetricAnchorsGiveExactCenter) {
+  const Scenario s = star_scenario();
+  const CentroidLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  ASSERT_TRUE(r.estimates[0].has_value());
+  EXPECT_NEAR(r.estimates[0]->x, 0.5, 1e-12);
+  EXPECT_NEAR(r.estimates[0]->y, 0.5, 1e-12);
+}
+
+TEST(Centroid, NoAnchorNeighborMeansNoEstimate) {
+  Scenario s = star_scenario();
+  s.graph = Graph(5, {});  // silence
+  const CentroidLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  EXPECT_FALSE(r.estimates[0].has_value());
+}
+
+TEST(Centroid, WeightedPullsTowardCloserAnchor) {
+  Scenario s;
+  s.field = Aabb::unit();
+  s.radio = make_radio(0.8, RangingType::gaussian, 0.05);
+  s.true_positions = {{0.3, 0.5}, {0.2, 0.5}, {0.8, 0.5}};
+  s.is_anchor = {false, true, true};
+  const auto uniform = std::make_shared<UniformPrior>(s.field);
+  s.priors.assign(3, uniform);
+  const std::vector<Edge> edges = {{0, 1, 0.1}, {0, 2, 0.5}};
+  s.graph = Graph(3, edges);
+  Rng rng(1);
+  const auto plain = CentroidLocalizer().localize(s, rng);
+  const auto weighted =
+      CentroidLocalizer(CentroidConfig{.distance_weighted = true})
+          .localize(s, rng);
+  // Plain centroid: midpoint 0.5; weighted leans toward the anchor at 0.2.
+  EXPECT_NEAR(plain.estimates[0]->x, 0.5, 1e-12);
+  EXPECT_LT(weighted.estimates[0]->x, 0.4);
+}
+
+TEST(MinMax, ExactDistancesBoundTheNode) {
+  const Scenario s = star_scenario();
+  const MinMaxLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  ASSERT_TRUE(r.estimates[0].has_value());
+  EXPECT_NEAR(r.estimates[0]->x, 0.5, 1e-9);
+  EXPECT_NEAR(r.estimates[0]->y, 0.5, 1e-9);
+}
+
+TEST(Lateration, ExactOnNoiselessStar) {
+  const Scenario s = star_scenario();
+  const MultilaterationLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  ASSERT_TRUE(r.estimates[0].has_value());
+  EXPECT_NEAR(r.estimates[0]->x, 0.5, 1e-9);
+  EXPECT_NEAR(r.estimates[0]->y, 0.5, 1e-9);
+}
+
+TEST(Lateration, NeedsThreeAnchors) {
+  Scenario s = star_scenario();
+  const std::vector<Edge> edges = {{0, 1, 0.3}, {0, 2, 0.3}};
+  s.graph = Graph(5, edges);
+  const MultilaterationLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  EXPECT_FALSE(r.estimates[0].has_value());
+}
+
+TEST(LaterationHelper, DegenerateGeometryRejectedOrFinite) {
+  // Collinear anchors: the linearized system is rank-deficient along one
+  // axis; the ridge fallback must still return something finite or nullopt.
+  const std::vector<Vec2> anchors = {{0.0, 0.5}, {0.5, 0.5}, {1.0, 0.5}};
+  const std::vector<double> dists = {0.5, 0.1, 0.5};
+  const auto p = lateration(anchors, dists);
+  if (p) {
+    EXPECT_TRUE(std::isfinite(p->x));
+    EXPECT_TRUE(std::isfinite(p->y));
+  }
+}
+
+TEST(DvHop, LocalizesEveryConnectedUnknown) {
+  const Scenario s = noiseless_network(3);
+  const DvHopLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_GT(report.coverage, 0.95);
+  // Hop-count localization is coarse but must beat random guessing by far.
+  EXPECT_LT(report.summary.mean, 1.0);
+}
+
+TEST(DvHop, CommCostScalesWithAnchorsTimesNodes) {
+  const Scenario s = noiseless_network(4);
+  const DvHopLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  EXPECT_EQ(r.comm.messages_sent,
+            (s.anchor_count() + 1) * s.node_count());
+}
+
+TEST(MdsMap, NearExactOnNoiselessDenseNetwork) {
+  ScenarioConfig cfg;
+  cfg.node_count = 100;
+  cfg.anchor_fraction = 0.1;
+  cfg.radio = make_radio(0.25, RangingType::gaussian, 1e-4);  // dense
+  cfg.seed = 7;
+  const Scenario s = build_scenario(cfg);
+  const MdsMapLocalizer algo;
+  Rng rng(2);
+  const auto r = algo.localize(s, rng);
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_GT(report.coverage, 0.95);
+  // Shortest-path distances overestimate Euclidean ones slightly, so the
+  // map is not exact, but it must be well under half a radio range.
+  EXPECT_LT(report.summary.mean, 0.5);
+}
+
+TEST(MdsMap, ExactEigenAgreesWithPowerIteration) {
+  const Scenario s = noiseless_network(9, 60);
+  Rng r1(1), r2(1);
+  const auto fast = MdsMapLocalizer().localize(s, r1);
+  const auto exact =
+      MdsMapLocalizer(MdsMapConfig{.exact_eigen = true}).localize(s, r2);
+  const double fast_err = evaluate(s, fast).summary.mean;
+  const double exact_err = evaluate(s, exact).summary.mean;
+  EXPECT_NEAR(fast_err, exact_err, 0.05);
+}
+
+TEST(MdsMap, RefusesWithTooFewAnchors) {
+  ScenarioConfig cfg;
+  cfg.node_count = 50;
+  cfg.anchor_fraction = 0.04;  // 2 anchors: reflection unresolvable
+  cfg.radio = make_radio(0.25, RangingType::gaussian, 0.01);
+  cfg.seed = 11;
+  const Scenario s = build_scenario(cfg);
+  const MdsMapLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  EXPECT_EQ(r.localized_count(), s.anchor_count());
+}
+
+TEST(Refinement, NearExactOnNoiselessNetwork) {
+  const Scenario s = noiseless_network(5);
+  const RefinementLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  EXPECT_LT(report.summary.mean, 0.08);
+}
+
+TEST(Refinement, ImprovesOnItsDvHopInitialization) {
+  ScenarioConfig cfg;
+  cfg.node_count = 150;
+  cfg.seed = 13;
+  const Scenario s = build_scenario(cfg);
+  Rng r1(1), r2(1);
+  const double dv = evaluate(s, DvHopLocalizer().localize(s, r1))
+                        .summary.mean;
+  const double refined =
+      evaluate(s, RefinementLocalizer().localize(s, r2)).summary.mean;
+  EXPECT_LT(refined, dv);
+}
+
+TEST(Refinement, ReportsIterationTraffic) {
+  const Scenario s = noiseless_network(6);
+  const RefinementLocalizer algo;
+  Rng rng(1);
+  const auto r = algo.localize(s, rng);
+  EXPECT_GT(r.iterations, 1u);
+  // DV-Hop flood plus one broadcast per node per refinement round.
+  EXPECT_GE(r.comm.messages_sent,
+            r.iterations * s.node_count());
+}
+
+TEST(AllBaselines, AnchorsAlwaysKeepTheirPositions) {
+  const Scenario s = noiseless_network(8);
+  std::vector<std::unique_ptr<Localizer>> algos;
+  algos.push_back(std::make_unique<CentroidLocalizer>());
+  algos.push_back(std::make_unique<MinMaxLocalizer>());
+  algos.push_back(std::make_unique<DvHopLocalizer>());
+  algos.push_back(std::make_unique<MultilaterationLocalizer>());
+  algos.push_back(std::make_unique<RefinementLocalizer>());
+  algos.push_back(std::make_unique<MdsMapLocalizer>());
+  for (const auto& algo : algos) {
+    Rng rng(1);
+    const auto r = algo->localize(s, rng);
+    for (std::size_t a : s.anchor_indices()) {
+      ASSERT_TRUE(r.estimates[a].has_value()) << algo->name();
+      EXPECT_EQ(*r.estimates[a], s.true_positions[a]) << algo->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bnloc

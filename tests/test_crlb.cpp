@@ -1,0 +1,132 @@
+// Unit tests for the Cramér-Rao bound computation (eval/crlb.hpp).
+#include "eval/crlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bnloc {
+namespace {
+
+// Hand-built scenario: one unknown at the origin-ish with two anchors on
+// orthogonal axes, Gaussian ranging.
+Scenario two_anchor_scenario(double noise_factor) {
+  Scenario s;
+  s.field = Aabb::unit();
+  s.radio = make_radio(0.5, RangingType::gaussian, noise_factor);
+  s.true_positions = {{0.5, 0.5}, {0.2, 0.5}, {0.5, 0.2}};
+  s.is_anchor = {false, true, true};
+  const auto uniform = std::make_shared<UniformPrior>(s.field);
+  s.priors = {uniform, uniform, uniform};
+  const std::vector<Edge> edges = {{0, 1, 0.3}, {0, 2, 0.3}};
+  s.graph = Graph(3, edges);
+  return s;
+}
+
+TEST(Crlb, TwoOrthogonalAnchorsMatchAnalyticBound) {
+  const double nf = 0.05;
+  const Scenario s = two_anchor_scenario(nf);
+  const CrlbReport report = compute_crlb(s, /*with_priors=*/false);
+  ASSERT_EQ(report.per_node.size(), 1u);
+  // Orthogonal unit vectors: FIM = diag(1/sigma^2, 1/sigma^2) (plus the
+  // negligible uniform-prior information), so the RMS bound is
+  // sqrt(2) * sigma, normalized by range.
+  const double sigma = nf * s.radio.range;
+  EXPECT_NEAR(report.per_node[0], std::sqrt(2.0) * sigma / s.radio.range,
+              0.02);
+}
+
+TEST(Crlb, MoreNoiseRaisesBound) {
+  const CrlbReport low = compute_crlb(two_anchor_scenario(0.05), false);
+  const CrlbReport high = compute_crlb(two_anchor_scenario(0.15), false);
+  EXPECT_GT(high.mean, low.mean);
+}
+
+TEST(Crlb, PriorsTightenTheBound) {
+  Scenario s = two_anchor_scenario(0.1);
+  s.priors[0] = GaussianPrior::isotropic({0.5, 0.5}, 0.01);
+  const CrlbReport without = compute_crlb(s, false);
+  const CrlbReport with = compute_crlb(s, true);
+  EXPECT_LT(with.mean, without.mean);
+}
+
+TEST(Crlb, DisconnectedNodeWithoutPriorNeedsRegularization) {
+  Scenario s = two_anchor_scenario(0.1);
+  // Add an unknown with no links at all.
+  s.true_positions.push_back({0.9, 0.9});
+  s.is_anchor.push_back(false);
+  s.priors.push_back(std::make_shared<UniformPrior>(s.field));
+  const std::vector<Edge> edges = {{0, 1, 0.3}, {0, 2, 0.3}};
+  s.graph = Graph(4, edges);
+  const CrlbReport report = compute_crlb(s, false);
+  // Uniform priors still contribute (weak) information, so with_priors=false
+  // on an isolated node must regularize (its FIM block is exactly zero).
+  EXPECT_TRUE(report.regularized);
+  ASSERT_EQ(report.per_node.size(), 2u);
+  // The isolated node's bound is enormous compared to the connected one.
+  EXPECT_GT(report.per_node[1], 100.0 * report.per_node[0]);
+}
+
+TEST(Crlb, InformativePriorRescuesDisconnectedNode) {
+  Scenario s = two_anchor_scenario(0.1);
+  s.true_positions.push_back({0.9, 0.9});
+  s.is_anchor.push_back(false);
+  s.priors.push_back(GaussianPrior::isotropic({0.9, 0.9}, 0.05));
+  const std::vector<Edge> edges = {{0, 1, 0.3}, {0, 2, 0.3}};
+  s.graph = Graph(4, edges);
+  const CrlbReport report = compute_crlb(s, true);
+  EXPECT_FALSE(report.regularized);
+  // Bound for the isolated node equals its prior spread (sqrt(2)*0.05)/R.
+  EXPECT_NEAR(report.per_node[1], std::sqrt(2.0) * 0.05 / s.radio.range,
+              0.01);
+}
+
+TEST(Crlb, CooperationTightensTheBound) {
+  // Unknowns A-B where only A hears anchors; B is bounded only through A.
+  // Adding a direct B-anchor link must tighten B's bound.
+  Scenario s;
+  s.field = Aabb::unit();
+  s.radio = make_radio(0.5, RangingType::gaussian, 0.05);
+  s.true_positions = {{0.4, 0.5}, {0.6, 0.5}, {0.2, 0.5}, {0.4, 0.2}};
+  s.is_anchor = {false, false, true, true};
+  const auto uniform = std::make_shared<UniformPrior>(s.field);
+  s.priors.assign(4, uniform);
+  const std::vector<Edge> base = {
+      {0, 2, 0.2}, {0, 3, 0.3}, {0, 1, 0.2}};
+  s.graph = Graph(4, base);
+  const CrlbReport indirect = compute_crlb(s, false);
+
+  std::vector<Edge> more = base;
+  more.push_back({1, 3, 0.36});
+  s.graph = Graph(4, more);
+  const CrlbReport direct = compute_crlb(s, false);
+  ASSERT_EQ(indirect.per_node.size(), 2u);
+  EXPECT_LT(direct.per_node[1], indirect.per_node[1]);
+}
+
+TEST(Crlb, RealScenarioBoundIsFiniteAndBelowAchievedError) {
+  ScenarioConfig cfg;
+  cfg.node_count = 80;
+  cfg.seed = 5;
+  cfg.deployment.kind = DeploymentKind::grid_jitter;
+  const Scenario s = build_scenario(cfg);
+  const CrlbReport report = compute_crlb(s, true);
+  EXPECT_EQ(report.per_node.size(), s.unknown_count());
+  EXPECT_GT(report.mean, 0.0);
+  EXPECT_LT(report.mean, 2.0);  // sane magnitude
+  for (double b : report.per_node) EXPECT_TRUE(std::isfinite(b));
+}
+
+TEST(Crlb, EmptyUnknownSet) {
+  ScenarioConfig cfg;
+  cfg.node_count = 5;
+  cfg.anchor_fraction = 1.0;
+  cfg.seed = 2;
+  const Scenario s = build_scenario(cfg);
+  const CrlbReport report = compute_crlb(s, true);
+  EXPECT_TRUE(report.per_node.empty());
+  EXPECT_EQ(report.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace bnloc

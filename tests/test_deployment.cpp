@@ -1,0 +1,152 @@
+// Unit and property tests for deployment generators (deploy/deployment.hpp).
+#include "deploy/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hpp"
+
+namespace bnloc {
+namespace {
+
+class DeploymentKinds : public ::testing::TestWithParam<DeploymentKind> {};
+
+TEST_P(DeploymentKinds, ProducesRequestedCountInsideField) {
+  DeploymentSpec spec;
+  spec.kind = GetParam();
+  Rng rng(42);
+  const Placement p = deploy(spec, 137, rng);
+  ASSERT_EQ(p.positions.size(), 137u);
+  ASSERT_EQ(p.priors.size(), 137u);
+  for (const Vec2& pos : p.positions) EXPECT_TRUE(spec.field.contains(pos));
+  for (const auto& prior : p.priors) ASSERT_NE(prior, nullptr);
+}
+
+TEST_P(DeploymentKinds, DeterministicInSeed) {
+  DeploymentSpec spec;
+  spec.kind = GetParam();
+  Rng a(7), b(7);
+  const Placement pa = deploy(spec, 50, a);
+  const Placement pb = deploy(spec, 50, b);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(pa.positions[i].x, pb.positions[i].x);
+    EXPECT_DOUBLE_EQ(pa.positions[i].y, pb.positions[i].y);
+  }
+}
+
+TEST_P(DeploymentKinds, PriorsAreHonest) {
+  // The landed position must be typical under the node's own prior: its
+  // density there should be comparable to the density at the prior mean.
+  DeploymentSpec spec;
+  spec.kind = GetParam();
+  Rng rng(3);
+  const Placement p = deploy(spec, 100, rng);
+  std::size_t plausible = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double at_pos = p.priors[i]->density(p.positions[i]);
+    const double at_mean = p.priors[i]->density(p.priors[i]->mean());
+    // Within a few sigma: density ratio above exp(-8) ~ 3.4e-4.
+    if (at_pos > 3.4e-4 * at_mean) ++plausible;
+  }
+  EXPECT_GE(plausible, 95u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DeploymentKinds,
+                         ::testing::Values(DeploymentKind::uniform,
+                                           DeploymentKind::grid_jitter,
+                                           DeploymentKind::clusters,
+                                           DeploymentKind::line_drop));
+
+TEST(Deployment, UniformPriorsAreUninformative) {
+  DeploymentSpec spec;
+  spec.kind = DeploymentKind::uniform;
+  Rng rng(1);
+  const Placement p = deploy(spec, 10, rng);
+  for (const auto& prior : p.priors) EXPECT_FALSE(prior->is_informative());
+}
+
+TEST(Deployment, StructuredPriorsAreInformative) {
+  for (DeploymentKind kind : {DeploymentKind::grid_jitter,
+                              DeploymentKind::clusters,
+                              DeploymentKind::line_drop}) {
+    DeploymentSpec spec;
+    spec.kind = kind;
+    Rng rng(1);
+    const Placement p = deploy(spec, 30, rng);
+    for (const auto& prior : p.priors) EXPECT_TRUE(prior->is_informative());
+  }
+}
+
+TEST(Deployment, GridJitterCoversTheField) {
+  DeploymentSpec spec;
+  spec.kind = DeploymentKind::grid_jitter;
+  Rng rng(4);
+  const Placement p = deploy(spec, 100, rng);
+  // Quadrant occupancy: a grid layout must populate all four quadrants.
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const Vec2& pos : p.positions)
+    ++quadrant[(pos.x > 0.5 ? 1 : 0) + (pos.y > 0.5 ? 2 : 0)];
+  for (int q : quadrant) EXPECT_GT(q, 10);
+}
+
+TEST(Deployment, ClustersShareClusterPriors) {
+  DeploymentSpec spec;
+  spec.kind = DeploymentKind::clusters;
+  spec.cluster_count = 3;
+  Rng rng(5);
+  const Placement p = deploy(spec, 30, rng);
+  // Balanced assignment: nodes i and i+3 share the same prior object.
+  EXPECT_EQ(p.priors[0], p.priors[3]);
+  EXPECT_EQ(p.priors[1], p.priors[4]);
+  EXPECT_NE(p.priors[0], p.priors[1]);
+}
+
+TEST(Deployment, ClustersAreTight) {
+  DeploymentSpec spec;
+  spec.kind = DeploymentKind::clusters;
+  spec.cluster_count = 4;
+  spec.cluster_sigma_factor = 0.05;
+  Rng rng(6);
+  const Placement p = deploy(spec, 200, rng);
+  // Mean distance from each node to its prior's center is ~sigma*sqrt(pi/2).
+  RunningStats d;
+  for (std::size_t i = 0; i < 200; ++i)
+    d.add(distance(p.positions[i], p.priors[i]->mean()));
+  EXPECT_LT(d.mean(), 3.0 * 0.05);
+}
+
+TEST(Deployment, LineDropHasPerNodePriors) {
+  DeploymentSpec spec;
+  spec.kind = DeploymentKind::line_drop;
+  Rng rng(7);
+  const Placement p = deploy(spec, 40, rng);
+  // Per-node planned drop points: consecutive nodes have distinct priors.
+  EXPECT_NE(p.priors[0], p.priors[1]);
+  // Drop points advance along x within a pass.
+  const Vec2 m0 = p.priors[0]->mean();
+  const Vec2 m1 = p.priors[1]->mean();
+  EXPECT_NE(m0.x, m1.x);
+  EXPECT_DOUBLE_EQ(m0.y, m1.y);  // same pass, same y
+}
+
+TEST(Deployment, SingleNodeWorks) {
+  DeploymentSpec spec;
+  for (DeploymentKind kind : {DeploymentKind::uniform,
+                              DeploymentKind::grid_jitter,
+                              DeploymentKind::clusters,
+                              DeploymentKind::line_drop}) {
+    spec.kind = kind;
+    Rng rng(8);
+    const Placement p = deploy(spec, 1, rng);
+    EXPECT_EQ(p.positions.size(), 1u);
+  }
+}
+
+TEST(Deployment, ToStringNames) {
+  EXPECT_STREQ(to_string(DeploymentKind::uniform), "uniform");
+  EXPECT_STREQ(to_string(DeploymentKind::line_drop), "line_drop");
+}
+
+}  // namespace
+}  // namespace bnloc

@@ -1,0 +1,113 @@
+// Unit tests for the symmetric eigensolvers (linalg/eigen.hpp).
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+
+namespace bnloc {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng, double diag_boost = 0.5) {
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) r(i, j) = rng.normal();
+  Matrix a = r.transposed() * r;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += diag_boost;
+  return a;
+}
+
+TEST(JacobiEigen, DiagonalMatrixIsTrivial) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  const auto pairs = jacobi_eigen(a);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_NEAR(pairs[0].value, 5.0, 1e-12);
+  EXPECT_NEAR(pairs[1].value, 3.0, 1e-12);
+  EXPECT_NEAR(pairs[2].value, 1.0, 1e-12);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  Rng rng(9);
+  const Matrix a = random_spd(6, rng);
+  const auto pairs = jacobi_eigen(a);
+  // A == sum lambda_k v_k v_k^T
+  Matrix rec(6, 6);
+  for (const auto& p : pairs)
+    for (std::size_t i = 0; i < 6; ++i)
+      for (std::size_t j = 0; j < 6; ++j)
+        rec(i, j) += p.value * p.vector[i] * p.vector[j];
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+  Rng rng(11);
+  const Matrix a = random_spd(5, rng);
+  const auto pairs = jacobi_eigen(a);
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    for (std::size_t q = p; q < pairs.size(); ++q) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 5; ++k)
+        dot += pairs[p].vector[k] * pairs[q].vector[k];
+      EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, TraceEqualsEigenvalueSum) {
+  Rng rng(13);
+  const Matrix a = random_spd(7, rng);
+  const auto pairs = jacobi_eigen(a);
+  double tr = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 7; ++i) tr += a(i, i);
+  for (const auto& p : pairs) sum += p.value;
+  EXPECT_NEAR(tr, sum, 1e-9);
+}
+
+TEST(TopEigenpairs, AgreesWithJacobiOnDominantPairs) {
+  Rng rng(17);
+  const Matrix a = random_spd(8, rng);
+  const auto full = jacobi_eigen(a);
+  Rng rng2(18);
+  const auto top = top_eigenpairs(a, 2, rng2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_NEAR(top[0].value, full[0].value, 1e-6 * full[0].value);
+  EXPECT_NEAR(top[1].value, full[1].value,
+              1e-4 * std::abs(full[0].value) + 1e-8);
+  // Vectors match up to sign.
+  for (int k = 0; k < 2; ++k) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < 8; ++i)
+      dot += top[k].vector[i] * full[k].vector[i];
+    EXPECT_NEAR(std::abs(dot), 1.0, 1e-4);
+  }
+}
+
+TEST(TopEigenpairs, SatisfyEigenEquation) {
+  Rng rng(23);
+  const Matrix a = random_spd(10, rng);
+  Rng rng2(24);
+  const auto top = top_eigenpairs(a, 3, rng2);
+  for (const auto& p : top) {
+    const auto av = a.multiply(p.vector);
+    for (std::size_t i = 0; i < 10; ++i)
+      EXPECT_NEAR(av[i], p.value * p.vector[i],
+                  1e-4 * std::max(1.0, std::abs(p.value)));
+  }
+}
+
+TEST(TopEigenpairs, KLargerThanDimensionClamps) {
+  Matrix a = Matrix::identity(2);
+  Rng rng(1);
+  const auto pairs = top_eigenpairs(a, 5, rng);
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bnloc

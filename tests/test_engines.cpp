@@ -1,0 +1,277 @@
+// Integration tests for the three BNCL engines (core/).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gaussian_bncl.hpp"
+#include "core/grid_bncl.hpp"
+#include "core/particle_bncl.hpp"
+#include "eval/metrics.hpp"
+
+namespace bnloc {
+namespace {
+
+ScenarioConfig default_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.node_count = 120;
+  cfg.anchor_fraction = 0.12;
+  cfg.deployment.kind = DeploymentKind::grid_jitter;
+  cfg.prior_quality = PriorQuality::exact;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class EngineSuite : public ::testing::TestWithParam<int> {
+ protected:
+  static std::unique_ptr<Localizer> make_engine(int which) {
+    switch (which) {
+      case 0:
+        return std::make_unique<GridBncl>();
+      case 1:
+        return std::make_unique<ParticleBncl>();
+      default:
+        return std::make_unique<GaussianBncl>();
+    }
+  }
+};
+
+TEST_P(EngineSuite, LocalizesEveryUnknownReasonably) {
+  const Scenario s = build_scenario(default_config(21));
+  const auto engine = make_engine(GetParam());
+  Rng rng(1);
+  const auto r = engine->localize(s, rng);
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  // With informative priors every engine should be well under half a radio
+  // range on average.
+  EXPECT_LT(report.summary.mean, 0.5) << engine->name();
+}
+
+TEST_P(EngineSuite, DeterministicGivenSeeds) {
+  const Scenario s = build_scenario(default_config(22));
+  const auto engine = make_engine(GetParam());
+  Rng r1(9), r2(9);
+  const auto a = engine->localize(s, r1);
+  const auto b = engine->localize(s, r2);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+    ASSERT_EQ(a.estimates[i].has_value(), b.estimates[i].has_value());
+    if (a.estimates[i]) {
+      EXPECT_DOUBLE_EQ(a.estimates[i]->x, b.estimates[i]->x);
+      EXPECT_DOUBLE_EQ(a.estimates[i]->y, b.estimates[i]->y);
+    }
+  }
+}
+
+TEST_P(EngineSuite, AnchorsKeepTheirPositions) {
+  const Scenario s = build_scenario(default_config(23));
+  const auto engine = make_engine(GetParam());
+  Rng rng(2);
+  const auto r = engine->localize(s, rng);
+  for (std::size_t a : s.anchor_indices())
+    EXPECT_EQ(*r.estimates[a], s.true_positions[a]);
+}
+
+TEST_P(EngineSuite, ReportsCommunicationAndUncertainty) {
+  const Scenario s = build_scenario(default_config(24));
+  const auto engine = make_engine(GetParam());
+  Rng rng(3);
+  const auto r = engine->localize(s, rng);
+  EXPECT_GT(r.comm.messages_sent, 0u);
+  EXPECT_GT(r.comm.bytes_sent, 0u);
+  EXPECT_GT(r.iterations, 0u);
+  for (std::size_t i : s.unknown_indices()) {
+    ASSERT_TRUE(r.covariances[i].has_value()) << engine->name();
+    EXPECT_GE(r.covariances[i]->trace(), 0.0);
+  }
+}
+
+TEST_P(EngineSuite, PreKnowledgeImprovesAccuracy) {
+  ScenarioConfig cfg = default_config(25);
+  cfg.node_count = 150;
+  cfg.anchor_fraction = 0.06;  // scarce anchors: priors matter most
+  cfg.prior_quality = PriorQuality::exact;
+  const Scenario with = build_scenario(cfg);
+  cfg.prior_quality = PriorQuality::none;
+  const Scenario without = build_scenario(cfg);
+  const auto engine = make_engine(GetParam());
+  Rng r1(4), r2(4);
+  const double err_with =
+      evaluate(with, engine->localize(with, r1)).summary.mean;
+  const double err_without =
+      evaluate(without, engine->localize(without, r2)).summary.mean;
+  EXPECT_LT(err_with, err_without) << engine->name();
+}
+
+TEST_P(EngineSuite, SurvivesPacketLoss) {
+  const Scenario s = build_scenario(default_config(26));
+  std::unique_ptr<Localizer> engine;
+  switch (GetParam()) {
+    case 0: {
+      GridBnclConfig c;
+      c.packet_loss = 0.3;
+      engine = std::make_unique<GridBncl>(c);
+      break;
+    }
+    case 1: {
+      ParticleBnclConfig c;
+      c.packet_loss = 0.3;
+      engine = std::make_unique<ParticleBncl>(c);
+      break;
+    }
+    default: {
+      GaussianBnclConfig c;
+      c.packet_loss = 0.3;
+      engine = std::make_unique<GaussianBncl>(c);
+      break;
+    }
+  }
+  Rng rng(5);
+  const auto r = engine->localize(s, rng);
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  EXPECT_LT(report.summary.mean, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EngineSuite, ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0: return "Grid";
+                             case 1: return "Particle";
+                             default: return "Gauss";
+                           }
+                         });
+
+TEST(GridBncl, ObserverSeesEveryIteration) {
+  const Scenario s = build_scenario(default_config(31));
+  GridBnclConfig cfg;
+  cfg.max_iterations = 6;
+  cfg.convergence_tol = 0.0;  // run all iterations
+  std::size_t calls = 0;
+  cfg.observer = [&](std::size_t iter,
+                     std::span<const std::optional<Vec2>> est) {
+    ++calls;
+    EXPECT_EQ(iter, calls);
+    EXPECT_EQ(est.size(), s.node_count());
+  };
+  const GridBncl engine(cfg);
+  Rng rng(1);
+  const auto r = engine.localize(s, rng);
+  EXPECT_EQ(calls, r.iterations);
+  EXPECT_EQ(calls, 6u);
+}
+
+TEST(GridBncl, ChangeTraceShrinks) {
+  const Scenario s = build_scenario(default_config(32));
+  const GridBncl engine;
+  Rng rng(1);
+  const auto r = engine.localize(s, rng);
+  ASSERT_GE(r.change_per_iteration.size(), 3u);
+  // Damped BP: late-iteration change far below the bootstrap change.
+  EXPECT_LT(r.change_per_iteration.back(),
+            0.5 * r.change_per_iteration.front());
+}
+
+TEST(GridBncl, NegativeEvidenceReducesTailError) {
+  ScenarioConfig cfg = default_config(33);
+  cfg.prior_quality = PriorQuality::none;  // ambiguity-prone setting
+  cfg.node_count = 150;
+  const Scenario s = build_scenario(cfg);
+  GridBnclConfig with_cfg, without_cfg;
+  without_cfg.use_negative_evidence = false;
+  Rng r1(1), r2(1);
+  const auto with = GridBncl(with_cfg).localize(s, r1);
+  const auto without = GridBncl(without_cfg).localize(s, r2);
+  EXPECT_LT(evaluate(s, with).summary.q90,
+            evaluate(s, without).summary.q90);
+}
+
+TEST(GridBncl, MapEstimateOptionChangesOutput) {
+  const Scenario s = build_scenario(default_config(34));
+  GridBnclConfig map_cfg;
+  map_cfg.map_estimate = true;
+  Rng r1(1), r2(1);
+  const auto mmse = GridBncl().localize(s, r1);
+  const auto map = GridBncl(map_cfg).localize(s, r2);
+  bool any_diff = false;
+  for (std::size_t i : s.unknown_indices())
+    any_diff |= distance(*mmse.estimates[i], *map.estimates[i]) > 1e-12;
+  EXPECT_TRUE(any_diff);
+  // Both remain accurate.
+  EXPECT_LT(evaluate(s, map).summary.mean, 0.5);
+}
+
+TEST(GridBncl, GaussSeidelConvergesAtLeastAsFast) {
+  ScenarioConfig scfg = default_config(41);
+  scfg.prior_quality = PriorQuality::none;  // slow-bootstrap setting
+  const Scenario s = build_scenario(scfg);
+  GridBnclConfig jacobi, gs;
+  gs.schedule = UpdateSchedule::gauss_seidel;
+  Rng r1(1), r2(1);
+  const auto rj = GridBncl(jacobi).localize(s, r1);
+  const auto rg = GridBncl(gs).localize(s, r2);
+  // Both must be sane; the in-round propagation of Gauss-Seidel should not
+  // need more rounds than Jacobi.
+  EXPECT_LE(rg.iterations, rj.iterations);
+  EXPECT_LT(evaluate(s, rg).summary.mean, 1.0);
+}
+
+TEST(GridBncl, FinerGridIsMoreAccurate) {
+  ScenarioConfig scfg = default_config(35);
+  const Scenario s = build_scenario(scfg);
+  GridBnclConfig coarse, fine;
+  coarse.grid_side = 16;
+  fine.grid_side = 64;
+  Rng r1(1), r2(1);
+  const double e_coarse =
+      evaluate(s, GridBncl(coarse).localize(s, r1)).summary.mean;
+  const double e_fine =
+      evaluate(s, GridBncl(fine).localize(s, r2)).summary.mean;
+  EXPECT_LT(e_fine, e_coarse);
+}
+
+TEST(GridBncl, BayesianCalibrationIsNonTrivial) {
+  const Scenario s = build_scenario(default_config(36));
+  const GridBncl engine;
+  Rng rng(1);
+  const auto r = engine.localize(s, rng);
+  const double calib = coverage_within_sigma(s, r, 3.0);
+  // Loopy BP is overconfident, but a majority of truths must fall inside
+  // the reported 3-sigma ellipses for the uncertainty to mean anything.
+  EXPECT_GT(calib, 0.5);
+}
+
+TEST(ParticleBncl, MoreParticlesHelp) {
+  ScenarioConfig scfg = default_config(37);
+  scfg.prior_quality = PriorQuality::none;
+  const Scenario s = build_scenario(scfg);
+  ParticleBnclConfig small, large;
+  small.particle_count = 24;
+  large.particle_count = 256;
+  Rng r1(1), r2(1);
+  const double e_small =
+      evaluate(s, ParticleBncl(small).localize(s, r1)).summary.mean;
+  const double e_large =
+      evaluate(s, ParticleBncl(large).localize(s, r2)).summary.mean;
+  EXPECT_LT(e_large, e_small);
+}
+
+TEST(GaussianBncl, TinyPayloadComparedToGrid) {
+  const Scenario s = build_scenario(default_config(38));
+  Rng r1(1), r2(1);
+  const auto gauss = GaussianBncl().localize(s, r1);
+  const auto grid = GridBncl().localize(s, r2);
+  EXPECT_LT(gauss.comm.bytes_per_node(s.node_count()),
+            grid.comm.bytes_per_node(s.node_count()));
+}
+
+TEST(GaussianBncl, ConvergesWithPriors) {
+  const Scenario s = build_scenario(default_config(39));
+  const GaussianBncl engine;
+  Rng rng(1);
+  const auto r = engine.localize(s, rng);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace bnloc

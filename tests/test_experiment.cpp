@@ -1,0 +1,115 @@
+// Unit tests for the Monte-Carlo experiment runner (eval/experiment.hpp).
+#include "eval/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/centroid.hpp"
+#include "support/config.hpp"
+
+namespace bnloc {
+namespace {
+
+ScenarioConfig small_config() {
+  ScenarioConfig cfg;
+  cfg.node_count = 60;
+  cfg.seed = 100;
+  return cfg;
+}
+
+TEST(Experiment, AggregatesAcrossTrials) {
+  const CentroidLocalizer algo;
+  const AggregateRow row = run_algorithm(algo, small_config(), 4);
+  EXPECT_EQ(row.algo, "centroid");
+  EXPECT_EQ(row.trials, 4u);
+  EXPECT_GT(row.error.count, 0u);
+  EXPECT_GT(row.coverage, 0.0);
+  EXPECT_GT(row.msgs_per_node, 0.0);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const CentroidLocalizer algo;
+  const AggregateRow a = run_algorithm(algo, small_config(), 3);
+  const AggregateRow b = run_algorithm(algo, small_config(), 3);
+  EXPECT_DOUBLE_EQ(a.error.mean, b.error.mean);
+  EXPECT_DOUBLE_EQ(a.coverage, b.coverage);
+  EXPECT_DOUBLE_EQ(a.penalized_mean, b.penalized_mean);
+}
+
+TEST(Experiment, DifferentBaseSeedsGiveDifferentScenarios) {
+  const CentroidLocalizer algo;
+  ScenarioConfig cfg = small_config();
+  const AggregateRow a = run_algorithm(algo, cfg, 3);
+  cfg.seed = 999;
+  const AggregateRow b = run_algorithm(algo, cfg, 3);
+  EXPECT_NE(a.error.mean, b.error.mean);
+}
+
+TEST(Experiment, AlgoRngIsStablePerNameAndSeed) {
+  Rng a = make_algo_rng("bncl-grid", 5);
+  Rng b = make_algo_rng("bncl-grid", 5);
+  Rng c = make_algo_rng("centroid", 5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Experiment, DefaultSuiteHasUniqueNamesAndExpectedMembers) {
+  const auto suite = default_suite();
+  EXPECT_GE(suite.size(), 9u);
+  std::set<std::string> names;
+  for (const auto& algo : suite) names.insert(algo->name());
+  EXPECT_EQ(names.size(), suite.size());
+  EXPECT_TRUE(names.count("bncl-grid"));
+  EXPECT_TRUE(names.count("bncl-particle"));
+  EXPECT_TRUE(names.count("bncl-gauss"));
+  EXPECT_TRUE(names.count("dv-hop"));
+  EXPECT_TRUE(names.count("mds-map"));
+}
+
+TEST(Experiment, RunSuiteReturnsOneRowPerAlgorithm) {
+  std::vector<std::unique_ptr<Localizer>> algos;
+  algos.push_back(std::make_unique<CentroidLocalizer>());
+  algos.push_back(std::make_unique<CentroidLocalizer>(
+      CentroidConfig{.distance_weighted = true}));
+  const auto rows = run_suite(algos, small_config(), 2);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].algo, "centroid");
+  EXPECT_EQ(rows[1].algo, "w-centroid");
+}
+
+TEST(BenchConfig, EnvOverrides) {
+  ::setenv("BNLOC_TRIALS", "5", 1);
+  ::setenv("BNLOC_NODES", "77", 1);
+  const BenchConfig cfg = BenchConfig::from_env();
+  EXPECT_EQ(cfg.trials, 5u);
+  EXPECT_EQ(cfg.nodes, 77u);
+  ::unsetenv("BNLOC_TRIALS");
+  ::unsetenv("BNLOC_NODES");
+}
+
+TEST(BenchConfig, FastModeShrinksDefaults) {
+  ::setenv("BNLOC_FAST", "1", 1);
+  const BenchConfig cfg = BenchConfig::from_env();
+  EXPECT_LE(cfg.trials, 5u);
+  EXPECT_LE(cfg.nodes, 120u);
+  ::unsetenv("BNLOC_FAST");
+}
+
+TEST(EnvHelpers, ParseAndFallback) {
+  ::setenv("BNLOC_TEST_D", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("BNLOC_TEST_D", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(env_double("BNLOC_TEST_MISSING", 1.0), 1.0);
+  ::setenv("BNLOC_TEST_D", "garbage", 1);
+  EXPECT_DOUBLE_EQ(env_double("BNLOC_TEST_D", 1.0), 1.0);
+  ::setenv("BNLOC_TEST_F", "yes", 1);
+  EXPECT_TRUE(env_flag("BNLOC_TEST_F"));
+  ::setenv("BNLOC_TEST_F", "0", 1);
+  EXPECT_FALSE(env_flag("BNLOC_TEST_F"));
+  EXPECT_EQ(env_string("BNLOC_TEST_MISSING", "dflt"), "dflt");
+  ::unsetenv("BNLOC_TEST_D");
+  ::unsetenv("BNLOC_TEST_F");
+}
+
+}  // namespace
+}  // namespace bnloc

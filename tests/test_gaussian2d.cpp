@@ -1,0 +1,121 @@
+// Unit tests for Gaussian beliefs and information updates
+// (inference/gaussian2d.hpp).
+#include "inference/gaussian2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bnloc {
+namespace {
+
+TEST(Gaussian2, DensityPeaksAtMean) {
+  Gaussian2 g;
+  g.mean = {0.5, 0.5};
+  g.cov = Cov2::isotropic(0.01);
+  EXPECT_GT(g.density({0.5, 0.5}), g.density({0.6, 0.5}));
+  // Normalization: peak of isotropic Gaussian is 1/(2 pi sigma^2).
+  EXPECT_NEAR(g.density({0.5, 0.5}), 1.0 / (2.0 * M_PI * 0.01), 1e-9);
+}
+
+TEST(Gaussian2, DegenerateCovarianceGivesZeroDensity) {
+  Gaussian2 g;
+  g.cov = {0.0, 0.0, 0.0};
+  EXPECT_EQ(g.density({0.0, 0.0}), 0.0);
+}
+
+TEST(InfoAccumulator, NoObservationsReturnsPrior) {
+  Gaussian2 prior;
+  prior.mean = {0.3, 0.7};
+  prior.cov = Cov2::isotropic(0.04);
+  const InfoAccumulator acc(prior);
+  const Gaussian2 post = acc.posterior();
+  EXPECT_NEAR(post.mean.x, 0.3, 1e-12);
+  EXPECT_NEAR(post.cov.xx, 0.04, 1e-12);
+}
+
+TEST(InfoAccumulator, TwoOrthogonalAnchorsPinTheNode) {
+  // True position (0.5, 0.5); anchors at (0.2, 0.5) and (0.5, 0.2) with
+  // exact distances 0.3. Weak prior at the wrong place.
+  Gaussian2 prior;
+  prior.mean = {0.45, 0.55};
+  prior.cov = Cov2::isotropic(1.0);  // very weak
+
+  Gaussian2 anchor_a, anchor_b;
+  anchor_a.mean = {0.2, 0.5};
+  anchor_a.cov = Cov2::isotropic(1e-10);
+  anchor_b.mean = {0.5, 0.2};
+  anchor_b.cov = Cov2::isotropic(1e-10);
+
+  Vec2 linearization = prior.mean;
+  for (int iter = 0; iter < 8; ++iter) {
+    InfoAccumulator acc(prior);
+    acc.add_range(anchor_a, linearization, 0.3, 0.001);
+    acc.add_range(anchor_b, linearization, 0.3, 0.001);
+    linearization = acc.posterior().mean;
+  }
+  EXPECT_NEAR(linearization.x, 0.5, 0.01);
+  EXPECT_NEAR(linearization.y, 0.5, 0.01);
+}
+
+TEST(InfoAccumulator, PosteriorUncertaintyShrinksAlongObservedDirection) {
+  Gaussian2 prior;
+  prior.mean = {0.5, 0.5};
+  prior.cov = Cov2::isotropic(0.09);
+
+  Gaussian2 anchor;
+  anchor.mean = {0.1, 0.5};  // to the left: observation along x
+  anchor.cov = Cov2::isotropic(1e-10);
+
+  InfoAccumulator acc(prior);
+  acc.add_range(anchor, prior.mean, 0.4, 0.01);
+  const Gaussian2 post = acc.posterior();
+  EXPECT_LT(post.cov.xx, 0.01);          // pinned along x
+  EXPECT_NEAR(post.cov.yy, 0.09, 1e-6);  // unchanged across
+}
+
+TEST(InfoAccumulator, NeighborUncertaintyInflatesNoise) {
+  Gaussian2 prior;
+  prior.mean = {0.5, 0.5};
+  prior.cov = Cov2::isotropic(0.09);
+
+  Gaussian2 sharp, fuzzy;
+  sharp.mean = {0.1, 0.5};
+  sharp.cov = Cov2::isotropic(1e-10);
+  fuzzy.mean = {0.1, 0.5};
+  fuzzy.cov = Cov2::isotropic(0.05);
+
+  InfoAccumulator acc_sharp(prior), acc_fuzzy(prior);
+  acc_sharp.add_range(sharp, prior.mean, 0.4, 0.01);
+  acc_fuzzy.add_range(fuzzy, prior.mean, 0.4, 0.01);
+  // The fuzzy neighbor constrains x less.
+  EXPECT_LT(acc_sharp.posterior().cov.xx, acc_fuzzy.posterior().cov.xx);
+}
+
+TEST(InfoAccumulator, CoincidentMeansAreSkipped) {
+  Gaussian2 prior;
+  prior.mean = {0.5, 0.5};
+  prior.cov = Cov2::isotropic(0.09);
+  Gaussian2 nb = prior;
+  InfoAccumulator acc(prior);
+  acc.add_range(nb, prior.mean, 0.1, 0.01);  // zero direction: ignored
+  const Gaussian2 post = acc.posterior();
+  EXPECT_NEAR(post.cov.xx, 0.09, 1e-12);
+}
+
+TEST(InfoAccumulator, PseudoObservationLandsAtMeasuredDistance) {
+  Gaussian2 prior;
+  prior.mean = {0.8, 0.5};
+  prior.cov = Cov2::isotropic(10.0);  // nearly flat prior
+  Gaussian2 anchor;
+  anchor.mean = {0.2, 0.5};
+  anchor.cov = Cov2::isotropic(1e-10);
+  InfoAccumulator acc(prior);
+  acc.add_range(anchor, prior.mean, 0.35, 0.001);
+  const Gaussian2 post = acc.posterior();
+  // Along x the posterior sits at anchor + 0.35 in the node's direction.
+  EXPECT_NEAR(post.mean.x, 0.55, 0.01);
+}
+
+}  // namespace
+}  // namespace bnloc

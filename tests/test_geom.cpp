@@ -1,0 +1,135 @@
+// Unit tests for Vec2, Aabb, and Cov2 (geom/).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/aabb.hpp"
+#include "geom/cov2.hpp"
+#include "geom/vec2.hpp"
+
+namespace bnloc {
+namespace {
+
+constexpr double kPi = 3.141592653589793;
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2, DotCrossNorm) {
+  const Vec2 a{3.0, 4.0}, b{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.dot(b), 3.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -4.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+  const Vec2 n = Vec2{0.0, 5.0}.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(n.y, 1.0);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+  const Vec2 r = Vec2{1.0, 0.0}.rotated(kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationPreservesNorm) {
+  const Vec2 v{2.0, 3.0};
+  for (double a = 0.0; a < 6.3; a += 0.7)
+    EXPECT_NEAR(v.rotated(a).norm(), v.norm(), 1e-12);
+}
+
+TEST(Vec2, DistanceAndLerp) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+  EXPECT_EQ(lerp({0, 0}, {2, 4}, 0.5), (Vec2{1, 2}));
+  EXPECT_EQ(lerp({0, 0}, {2, 4}, 0.0), (Vec2{0, 0}));
+  EXPECT_EQ(lerp({0, 0}, {2, 4}, 1.0), (Vec2{2, 4}));
+}
+
+TEST(Aabb, BasicsAndContains) {
+  const Aabb box{{0, 0}, {2, 1}};
+  EXPECT_DOUBLE_EQ(box.width(), 2.0);
+  EXPECT_DOUBLE_EQ(box.height(), 1.0);
+  EXPECT_DOUBLE_EQ(box.area(), 2.0);
+  EXPECT_EQ(box.center(), (Vec2{1.0, 0.5}));
+  EXPECT_TRUE(box.contains({0.5, 0.5}));
+  EXPECT_TRUE(box.contains({0.0, 0.0}));  // boundary inclusive
+  EXPECT_FALSE(box.contains({2.1, 0.5}));
+}
+
+TEST(Aabb, ClampProjectsToBox) {
+  const Aabb box = Aabb::unit();
+  EXPECT_EQ(box.clamp({-1.0, 0.5}), (Vec2{0.0, 0.5}));
+  EXPECT_EQ(box.clamp({2.0, 2.0}), (Vec2{1.0, 1.0}));
+  EXPECT_EQ(box.clamp({0.3, 0.7}), (Vec2{0.3, 0.7}));
+}
+
+TEST(Aabb, InflatedAndIntersects) {
+  const Aabb a{{0, 0}, {1, 1}};
+  const Aabb grown = a.inflated(0.5);
+  EXPECT_EQ(grown.lo, (Vec2{-0.5, -0.5}));
+  EXPECT_EQ(grown.hi, (Vec2{1.5, 1.5}));
+  const Aabb b{{2, 2}, {3, 3}};
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.intersects(grown));
+  EXPECT_TRUE(grown.intersects(b.inflated(0.5)));
+}
+
+TEST(Cov2, DetTraceInverse) {
+  const Cov2 c{4.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(c.det(), 7.0);
+  EXPECT_DOUBLE_EQ(c.trace(), 6.0);
+  const Cov2 inv = c.inverse();
+  // c * inv == I
+  EXPECT_NEAR(c.xx * inv.xx + c.xy * inv.xy, 1.0, 1e-12);
+  EXPECT_NEAR(c.xx * inv.xy + c.xy * inv.yy, 0.0, 1e-12);
+  EXPECT_NEAR(c.xy * inv.xy + c.yy * inv.yy, 1.0, 1e-12);
+}
+
+TEST(Cov2, QuadraticForm) {
+  const Cov2 c = Cov2::isotropic(2.0);
+  EXPECT_DOUBLE_EQ(c.quad({1.0, 0.0}), 2.0);
+  EXPECT_DOUBLE_EQ(c.quad({1.0, 1.0}), 4.0);
+}
+
+TEST(Cov2, MahalanobisIsotropicReducesToScaledEuclidean) {
+  const Cov2 c = Cov2::isotropic(4.0);
+  const double md2 = c.mahalanobis_sq({3.0, 4.0}, {0.0, 0.0});
+  EXPECT_NEAR(md2, 25.0 / 4.0, 1e-12);
+}
+
+TEST(Cov2, CholeskyReconstructs) {
+  const Cov2 c{4.0, 1.2, 3.0};
+  const auto l = c.cholesky();
+  EXPECT_NEAR(l.l11 * l.l11, c.xx, 1e-12);
+  EXPECT_NEAR(l.l11 * l.l21, c.xy, 1e-12);
+  EXPECT_NEAR(l.l21 * l.l21 + l.l22 * l.l22, c.yy, 1e-12);
+}
+
+TEST(Cov2, SumAndScale) {
+  const Cov2 a{1, 0.5, 2}, b{3, -0.5, 1};
+  const Cov2 s = a + b;
+  EXPECT_DOUBLE_EQ(s.xx, 4.0);
+  EXPECT_DOUBLE_EQ(s.xy, 0.0);
+  EXPECT_DOUBLE_EQ(s.yy, 3.0);
+  const Cov2 sc = a.scaled(2.0);
+  EXPECT_DOUBLE_EQ(sc.xx, 2.0);
+  EXPECT_DOUBLE_EQ(sc.yy, 4.0);
+}
+
+TEST(Cov2, RmsRadius) {
+  EXPECT_NEAR(Cov2::isotropic(2.0).rms_radius(), 2.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace bnloc

@@ -1,0 +1,122 @@
+// Unit tests for the CSR graph and shortest-path routines (graph/).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/adjacency.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace bnloc {
+namespace {
+
+// Path graph 0-1-2-3 plus isolated node 4.
+Graph path_graph() {
+  const std::vector<Edge> edges = {
+      {0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}};
+  return Graph(5, edges);
+}
+
+TEST(Graph, CountsAndDegrees) {
+  const Graph g = path_graph();
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 6.0 / 5.0);
+}
+
+TEST(Graph, NeighborsSymmetricWithWeights) {
+  const Graph g = path_graph();
+  bool found = false;
+  for (const Neighbor& nb : g.neighbors(1)) {
+    if (nb.node == 2) {
+      EXPECT_DOUBLE_EQ(nb.weight, 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(4, 0));
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(3, {});
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(BfsHops, PathDistances) {
+  const Graph g = path_graph();
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[0], 0u);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], 2u);
+  EXPECT_EQ(hops[3], 3u);
+  EXPECT_EQ(hops[4], kUnreachableHops);
+}
+
+TEST(BfsHops, TakesShortcuts) {
+  // Square with diagonal: 0-1, 1-2, 2-3, 3-0, 0-2.
+  const std::vector<Edge> edges = {
+      {0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}, {0, 2, 1}};
+  const Graph g(4, edges);
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[2], 1u);  // via the diagonal
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[3], 1u);
+}
+
+TEST(MultiSourceHops, OneRowPerSource) {
+  const Graph g = path_graph();
+  const std::vector<std::size_t> sources = {0, 3};
+  const auto rows = multi_source_hops(g, sources);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][3], 3u);
+  EXPECT_EQ(rows[1][0], 3u);
+}
+
+TEST(Dijkstra, WeightedDistances) {
+  const Graph g = path_graph();
+  const auto dist = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(dist[3], 6.0);
+  EXPECT_EQ(dist[4], kUnreachableDist);
+}
+
+TEST(Dijkstra, PrefersLighterDetour) {
+  // 0-1 weight 10, 0-2 weight 1, 2-1 weight 1: best 0->1 is 2 via node 2.
+  const std::vector<Edge> edges = {{0, 1, 10}, {0, 2, 1}, {2, 1, 1}};
+  const Graph g(3, edges);
+  const auto dist = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(dist[1], 2.0);
+}
+
+TEST(ConnectedComponents, LabelsAndGiant) {
+  // Two components: {0,1,2,3} and {4}; plus a second small one {5,6}.
+  const std::vector<Edge> edges = {
+      {0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {5, 6, 1}};
+  const Graph g(7, edges);
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_NE(labels[0], labels[4]);
+  EXPECT_NE(labels[0], labels[5]);
+  EXPECT_EQ(labels[5], labels[6]);
+  EXPECT_EQ(giant_component_size(g), 4u);
+}
+
+TEST(ConnectedComponents, FullyConnectedSingleLabel) {
+  const std::vector<Edge> edges = {{0, 1, 1}, {1, 2, 1}, {0, 2, 1}};
+  const Graph g(3, edges);
+  const auto labels = connected_components(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(giant_component_size(g), 3u);
+}
+
+}  // namespace
+}  // namespace bnloc

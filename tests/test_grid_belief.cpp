@@ -1,0 +1,159 @@
+// Unit tests for the grid belief representation (inference/grid_belief.hpp).
+#include "inference/grid_belief.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace bnloc {
+namespace {
+
+double total_mass(const GridBelief& b) {
+  const auto m = b.mass();
+  return std::accumulate(m.begin(), m.end(), 0.0);
+}
+
+TEST(GridBelief, UniformByDefault) {
+  const GridBelief b(Aabb::unit(), 16);
+  EXPECT_EQ(b.cell_count(), 256u);
+  EXPECT_NEAR(total_mass(b), 1.0, 1e-12);
+  EXPECT_NEAR(b.mass()[0], 1.0 / 256.0, 1e-15);
+  EXPECT_NEAR(b.entropy(), std::log(256.0), 1e-9);
+}
+
+TEST(GridBelief, CellGeometryRoundTrip) {
+  const GridBelief b(Aabb::unit(), 10);
+  for (std::size_t c : {0UL, 5UL, 42UL, 99UL}) {
+    EXPECT_EQ(b.cell_at(b.cell_center(c)), c);
+  }
+  // Boundary points clamp into the grid.
+  EXPECT_EQ(b.cell_at({1.0, 1.0}), b.cell_count() - 1);
+  EXPECT_EQ(b.cell_at({-0.5, -0.5}), 0u);
+}
+
+TEST(GridBelief, DeltaConcentratesAllMass) {
+  GridBelief b(Aabb::unit(), 16);
+  b.set_delta({0.31, 0.77});
+  EXPECT_NEAR(total_mass(b), 1.0, 1e-12);
+  EXPECT_NEAR(b.mass()[b.cell_at({0.31, 0.77})], 1.0, 1e-12);
+  EXPECT_NEAR(b.entropy(), 0.0, 1e-12);
+  // Mean is the containing cell's center.
+  EXPECT_NEAR(distance(b.mean(), {0.31, 0.77}), 0.05, 0.05);
+}
+
+TEST(GridBelief, FromPriorMatchesGaussianMoments) {
+  GridBelief b(Aabb::unit(), 64);
+  const auto prior = GaussianPrior::isotropic({0.5, 0.5}, 0.08);
+  b.set_from_prior(*prior);
+  EXPECT_NEAR(total_mass(b), 1.0, 1e-12);
+  EXPECT_NEAR(b.mean().x, 0.5, 0.01);
+  EXPECT_NEAR(b.mean().y, 0.5, 0.01);
+  const Cov2 cov = b.covariance();
+  EXPECT_NEAR(cov.xx, 0.08 * 0.08, 0.001);
+  EXPECT_NEAR(cov.xy, 0.0, 0.001);
+}
+
+TEST(GridBelief, FromPriorOutsideFieldFallsBackToUniform) {
+  GridBelief b(Aabb::unit(), 16);
+  const auto prior = GaussianPrior::isotropic({50.0, 50.0}, 0.01);
+  b.set_from_prior(*prior);
+  EXPECT_NEAR(b.entropy(), std::log(256.0), 1e-6);
+}
+
+TEST(GridBelief, MultiplySharpens) {
+  GridBelief b(Aabb::unit(), 16);
+  std::vector<double> factor(256, 0.0);
+  factor[100] = 1.0;
+  b.multiply(factor, 0.0);
+  EXPECT_NEAR(b.mass()[100], 1.0, 1e-12);
+  EXPECT_NEAR(total_mass(b), 1.0, 1e-12);
+}
+
+TEST(GridBelief, MultiplyWithFloorKeepsSupportAlive) {
+  GridBelief b(Aabb::unit(), 16);
+  std::vector<double> zero(256, 0.0);
+  b.multiply(zero, 1e-6);
+  // All-zero factor with a floor leaves the belief unchanged (uniform).
+  EXPECT_NEAR(b.mass()[7], 1.0 / 256.0, 1e-12);
+}
+
+TEST(GridBelief, MultiplyAllZeroWithoutFloorResetsToUniform) {
+  GridBelief b(Aabb::unit(), 16);
+  b.set_delta({0.5, 0.5});
+  std::vector<double> zero(256, 0.0);
+  b.multiply(zero, 0.0);
+  EXPECT_NEAR(b.entropy(), std::log(256.0), 1e-9);
+}
+
+TEST(GridBelief, ArgmaxFindsPeak) {
+  GridBelief b(Aabb::unit(), 32);
+  const auto prior = GaussianPrior::isotropic({0.25, 0.75}, 0.05);
+  b.set_from_prior(*prior);
+  EXPECT_NEAR(distance(b.argmax(), {0.25, 0.75}), 0.0, 0.05);
+}
+
+TEST(GridBelief, TotalVariationProperties) {
+  GridBelief a(Aabb::unit(), 16), b(Aabb::unit(), 16);
+  EXPECT_DOUBLE_EQ(a.total_variation(b), 0.0);
+  b.set_delta({0.1, 0.1});
+  const double tv = a.total_variation(b);
+  EXPECT_GT(tv, 0.9);
+  EXPECT_LE(tv, 1.0);
+  EXPECT_DOUBLE_EQ(tv, b.total_variation(a));  // symmetry
+}
+
+TEST(GridBelief, MixWithInterpolates) {
+  GridBelief a(Aabb::unit(), 16), b(Aabb::unit(), 16);
+  a.set_delta({0.1, 0.1});
+  GridBelief mixed = a;
+  mixed.mix_with(b, 0.5);
+  EXPECT_NEAR(total_mass(mixed), 1.0, 1e-12);
+  EXPECT_NEAR(mixed.mass()[a.cell_at({0.1, 0.1})], 0.5 + 0.5 / 256.0, 1e-12);
+}
+
+TEST(GridBelief, SparsifyCoversRequestedMass) {
+  GridBelief b(Aabb::unit(), 32);
+  const auto prior = GaussianPrior::isotropic({0.5, 0.5}, 0.06);
+  b.set_from_prior(*prior);
+  const SparseBelief sp = b.sparsify(0.99, 1024);
+  EXPECT_GE(sp.covered_fraction, 0.99);
+  float sum = 0.0f;
+  for (float m : sp.mass) sum += m;
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  EXPECT_EQ(sp.payload_bytes(), sp.size() * 6);
+}
+
+TEST(GridBelief, SparsifyRespectsCap) {
+  const GridBelief b(Aabb::unit(), 32);  // uniform
+  const SparseBelief sp = b.sparsify(0.999, 50);
+  EXPECT_EQ(sp.size(), 50u);
+  EXPECT_NEAR(sp.covered_fraction, 50.0 / 1024.0, 1e-9);
+}
+
+TEST(GridBelief, SparsifyCellsAreDescendingByMass) {
+  GridBelief b(Aabb::unit(), 16);
+  const auto prior = GaussianPrior::isotropic({0.3, 0.3}, 0.1);
+  b.set_from_prior(*prior);
+  const SparseBelief sp = b.sparsify(0.9, 64);
+  for (std::size_t k = 1; k < sp.size(); ++k)
+    EXPECT_GE(sp.mass[k - 1], sp.mass[k]);
+}
+
+TEST(GridBelief, CovarianceIncludesCellQuantization) {
+  GridBelief b(Aabb::unit(), 16);
+  b.set_delta({0.5, 0.5});
+  // A delta on the grid still has the within-cell variance floor.
+  const double cell = 1.0 / 16.0;
+  EXPECT_NEAR(b.covariance().xx, cell * cell / 12.0, 1e-12);
+}
+
+TEST(GridBelief, RectangularFieldCells) {
+  GridBelief b(Aabb{{0, 0}, {2, 1}}, 10);
+  // Cells are 0.2 x 0.1; geometry round trips.
+  EXPECT_DOUBLE_EQ(b.cell_size(), 0.2);
+  EXPECT_EQ(b.cell_at(b.cell_center(37)), 37u);
+}
+
+}  // namespace
+}  // namespace bnloc

@@ -1,0 +1,85 @@
+// Unit tests for Histogram and Ecdf (support/histogram.hpp).
+#include "support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bnloc {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.3);   // bin 1
+  h.add(0.55);  // bin 2
+  h.add(0.99);  // bin 3
+  EXPECT_EQ(h.total(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(h.count(b), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.bin_center(3), 0.875);
+}
+
+TEST(Histogram, DensitySumsToOne) {
+  Histogram h(0.0, 10.0, 5);
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 7.0, 9.0, 9.5};
+  h.add_all(xs);
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.density(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 1.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.25);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+}
+
+TEST(Ecdf, AtAndInverse) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Ecdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 4.0);
+}
+
+TEST(Ecdf, MonotoneNondecreasing) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0};
+  const Ecdf cdf(xs);
+  double prev = -1.0;
+  for (double x = 0.0; x <= 10.0; x += 0.25) {
+    const double v = cdf.at(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Ecdf, InverseIsQuantileConsistent) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const Ecdf cdf(xs);
+  // inverse(q) returns the smallest sample with CDF >= q.
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.21), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.8), 40.0);
+}
+
+}  // namespace
+}  // namespace bnloc

@@ -1,0 +1,192 @@
+// Unit tests for Matrix, Cholesky, least squares, 2x2 eigen (linalg/).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "linalg/solve.hpp"
+#include "support/rng.hpp"
+
+namespace bnloc {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix i = Matrix::identity(3);
+  Matrix a(3, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  const Matrix ai = a * i;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(ai(r, c), a(r, c));
+}
+
+TEST(Matrix, ProductAgainstKnown) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 4);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      a(r, c) = static_cast<double>(r * 10 + c);
+  const Matrix att = a.transposed().transposed();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 4; ++c)
+      EXPECT_DOUBLE_EQ(att(r, c), a(r, c));
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a(1, 2), b(1, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  b(0, 0) = 10; b(0, 1) = 20;
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ((b - a)(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(a.scaled(3.0)(0, 1), 6.0);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  const std::vector<double> x = {5.0, 6.0};
+  const auto y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Matrix, Frobenius) {
+  Matrix a(1, 2);
+  a(0, 0) = 3; a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.frobenius(), 5.0);
+}
+
+TEST(Cholesky, FactorsSpdAndRejectsIndefinite) {
+  Matrix spd(2, 2);
+  spd(0, 0) = 4; spd(0, 1) = 2; spd(1, 0) = 2; spd(1, 1) = 3;
+  const auto l = cholesky(spd);
+  ASSERT_TRUE(l.has_value());
+  // Reconstruct L L^T.
+  const Matrix rec = *l * l->transposed();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_NEAR(rec(r, c), spd(r, c), 1e-12);
+
+  Matrix indef(2, 2);
+  indef(0, 0) = 1; indef(0, 1) = 2; indef(1, 0) = 2; indef(1, 1) = 1;
+  EXPECT_FALSE(cholesky(indef).has_value());
+}
+
+TEST(SolveSpd, RecoversKnownSolution) {
+  // A = R^T R with random R guarantees SPD; x known.
+  Rng rng(5);
+  const std::size_t n = 6;
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) r(i, j) = rng.normal();
+  Matrix a = r.transposed() * r;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2.0, 2.0);
+  const auto b = a.multiply(x_true);
+  const auto x = solve_spd(a, b);
+  ASSERT_TRUE(x.has_value());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR((*x)[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskySolver, FactorOnceSolveMany) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 0; a(1, 0) = 0; a(1, 1) = 4;
+  const CholeskySolver solver(a);
+  ASSERT_TRUE(solver.ok());
+  const std::vector<double> b1 = {2.0, 4.0};
+  const std::vector<double> b2 = {4.0, 8.0};
+  EXPECT_NEAR(solver.solve(b1)[0], 1.0, 1e-12);
+  EXPECT_NEAR(solver.solve(b2)[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, ExactForConsistentSystem) {
+  Matrix a(3, 2);
+  a(0, 0) = 1; a(0, 1) = 0;
+  a(1, 0) = 0; a(1, 1) = 1;
+  a(2, 0) = 1; a(2, 1) = 1;
+  const std::vector<double> b = {2.0, 3.0, 5.0};  // x=(2,3) exactly
+  const auto x = solve_least_squares(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualForOverdetermined) {
+  // Fit y = c to {1, 2, 3}: least squares answer is the mean.
+  Matrix a(3, 1, 1.0);
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  const auto x = solve_least_squares(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, RankDeficientFallsBackToRidge) {
+  // Two identical columns: unregularized normal equations are singular.
+  Matrix a(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = static_cast<double>(r + 1);
+  }
+  const std::vector<double> b = {2.0, 4.0, 6.0};
+  const auto x = solve_least_squares(a, b);
+  ASSERT_TRUE(x.has_value());
+  // Ridge splits the coefficient between the identical columns.
+  EXPECT_NEAR((*x)[0] + (*x)[1], 2.0, 1e-3);
+}
+
+TEST(EigenSym2, DiagonalMatrix) {
+  const Eigen2 e = eigen_sym2(3.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(e.value[0], 3.0);
+  EXPECT_DOUBLE_EQ(e.value[1], 1.0);
+  EXPECT_NEAR(std::abs(e.vector[0][0]), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(e.vector[1][1]), 1.0, 1e-12);
+}
+
+TEST(EigenSym2, KnownSymmetric) {
+  // [[2 1];[1 2]] has eigenvalues 3 and 1, vectors (1,1)/sqrt2, (1,-1)/sqrt2.
+  const Eigen2 e = eigen_sym2(2.0, 1.0, 2.0);
+  EXPECT_NEAR(e.value[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.value[1], 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(e.vector[0][0]), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(std::abs(e.vector[0][1]), std::sqrt(0.5), 1e-10);
+}
+
+TEST(EigenSym2, VectorsSatisfyDefinition) {
+  const double a = 5.0, b = -2.0, c = 1.0;
+  const Eigen2 e = eigen_sym2(a, b, c);
+  for (int k = 0; k < 2; ++k) {
+    const double vx = e.vector[k][0], vy = e.vector[k][1];
+    EXPECT_NEAR(a * vx + b * vy, e.value[k] * vx, 1e-10);
+    EXPECT_NEAR(b * vx + c * vy, e.value[k] * vy, 1e-10);
+    EXPECT_NEAR(vx * vx + vy * vy, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace bnloc

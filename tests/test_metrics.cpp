@@ -1,0 +1,122 @@
+// Unit tests for evaluation metrics (eval/metrics.hpp).
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bnloc {
+namespace {
+
+Scenario tiny_scenario() {
+  ScenarioConfig cfg;
+  cfg.node_count = 10;
+  cfg.anchor_fraction = 0.2;
+  cfg.seed = 1;
+  return build_scenario(cfg);
+}
+
+TEST(Metrics, PerfectEstimatesGiveZeroError) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  for (std::size_t i = 0; i < s.node_count(); ++i)
+    r.estimates[i] = s.true_positions[i];
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  EXPECT_EQ(report.errors.size(), s.unknown_count());
+  for (double e : report.errors) EXPECT_DOUBLE_EQ(e, 0.0);
+  EXPECT_DOUBLE_EQ(report.penalized_mean, 0.0);
+}
+
+TEST(Metrics, ErrorIsNormalizedByRange) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  const double offset = s.radio.range;  // exactly one radio range off
+  for (std::size_t i = 0; i < s.node_count(); ++i)
+    r.estimates[i] = s.true_positions[i] + Vec2{offset, 0.0};
+  const ErrorReport report = evaluate(s, r);
+  for (double e : report.errors) EXPECT_NEAR(e, 1.0, 1e-12);
+}
+
+TEST(Metrics, AnchorsExcludedFromErrors) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  // Only fill unknowns; anchors already filled by the skeleton.
+  for (std::size_t i = 0; i < s.node_count(); ++i)
+    if (!s.is_anchor[i]) r.estimates[i] = s.true_positions[i];
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_EQ(report.errors.size(), s.unknown_count());
+}
+
+TEST(Metrics, MissingEstimatesLowerCoverageAndArePenalized) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  // Localize none of the unknowns.
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_DOUBLE_EQ(report.coverage, 0.0);
+  EXPECT_TRUE(report.errors.empty());
+  EXPECT_GT(report.penalized_mean, 0.0);  // charged the center-guess error
+}
+
+TEST(Metrics, PenalizedMeanEqualsPlainMeanAtFullCoverage) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  for (std::size_t i = 0; i < s.node_count(); ++i)
+    r.estimates[i] = s.true_positions[i] + Vec2{0.01, 0.0};
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_NEAR(report.penalized_mean, report.summary.mean, 1e-12);
+}
+
+TEST(Metrics, CoverageWithinSigmaPerfectCalibration) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    r.estimates[i] = s.true_positions[i];  // exact
+    r.covariances[i] = Cov2::isotropic(1e-4);
+  }
+  EXPECT_DOUBLE_EQ(coverage_within_sigma(s, r, 2.0), 1.0);
+}
+
+TEST(Metrics, CoverageWithinSigmaDetectsOverconfidence) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    // One radio range off but claiming millimeter certainty.
+    r.estimates[i] = s.true_positions[i] + Vec2{s.radio.range, 0.0};
+    r.covariances[i] = Cov2::isotropic(1e-10);
+  }
+  EXPECT_DOUBLE_EQ(coverage_within_sigma(s, r, 2.0), 0.0);
+}
+
+TEST(Metrics, CoverageWithinSigmaIgnoresNodesWithoutCovariance) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    if (s.is_anchor[i]) continue;
+    r.estimates[i] = s.true_positions[i];
+    r.covariances[i] = std::nullopt;
+  }
+  EXPECT_DOUBLE_EQ(coverage_within_sigma(s, r, 2.0), 0.0);
+}
+
+TEST(Metrics, LocalizedCount) {
+  const Scenario s = tiny_scenario();
+  LocalizationResult r = make_result_skeleton(s);
+  EXPECT_EQ(r.localized_count(), s.anchor_count());
+  r.estimates[s.unknown_indices()[0]] = Vec2{0.5, 0.5};
+  EXPECT_EQ(r.localized_count(), s.anchor_count() + 1);
+}
+
+TEST(Metrics, SkeletonPrefillsAnchors) {
+  const Scenario s = tiny_scenario();
+  const LocalizationResult r = make_result_skeleton(s);
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    if (s.is_anchor[i]) {
+      ASSERT_TRUE(r.estimates[i].has_value());
+      EXPECT_EQ(*r.estimates[i], s.true_positions[i]);
+    } else {
+      EXPECT_FALSE(r.estimates[i].has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bnloc

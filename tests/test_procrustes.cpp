@@ -1,0 +1,106 @@
+// Property tests for 2-D Procrustes alignment (linalg/procrustes.hpp).
+#include "linalg/procrustes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace bnloc {
+namespace {
+
+std::vector<Vec2> random_cloud(std::size_t n, Rng& rng) {
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts) p = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return pts;
+}
+
+TEST(Procrustes, IdentityWhenAlreadyAligned) {
+  Rng rng(1);
+  const auto pts = random_cloud(8, rng);
+  const Transform2 tf = fit_procrustes(pts, pts);
+  for (const auto& p : pts) {
+    const Vec2 q = tf.apply(p);
+    EXPECT_NEAR(q.x, p.x, 1e-10);
+    EXPECT_NEAR(q.y, p.y, 1e-10);
+  }
+}
+
+TEST(Procrustes, PureTranslation) {
+  Rng rng(2);
+  const auto src = random_cloud(6, rng);
+  std::vector<Vec2> dst;
+  for (const auto& p : src) dst.push_back(p + Vec2{3.0, -2.0});
+  const Transform2 tf = fit_procrustes(src, dst);
+  EXPECT_NEAR(tf.scale, 1.0, 1e-10);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Vec2 q = tf.apply(src[i]);
+    EXPECT_NEAR(q.x, dst[i].x, 1e-9);
+    EXPECT_NEAR(q.y, dst[i].y, 1e-9);
+  }
+}
+
+class ProcrustesRecovery
+    : public ::testing::TestWithParam<std::tuple<double, double, bool>> {};
+
+TEST_P(ProcrustesRecovery, RecoversSimilarityTransform) {
+  const auto [angle, scale, reflect] = GetParam();
+  Rng rng(42);
+  const auto src = random_cloud(12, rng);
+  const Vec2 t{0.7, -1.3};
+  std::vector<Vec2> dst;
+  for (Vec2 p : src) {
+    if (reflect) p.y = -p.y;
+    dst.push_back(p.rotated(angle) * scale + t);
+  }
+  const Transform2 tf = fit_procrustes(src, dst);
+  EXPECT_NEAR(tf.scale, scale, 1e-9);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Vec2 q = tf.apply(src[i]);
+    EXPECT_NEAR(q.x, dst[i].x, 1e-8);
+    EXPECT_NEAR(q.y, dst[i].y, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AnglesScalesReflections, ProcrustesRecovery,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.57, 3.0, -2.2),
+                       ::testing::Values(0.5, 1.0, 2.5),
+                       ::testing::Bool()));
+
+TEST(Procrustes, RigidModeKeepsUnitScale) {
+  Rng rng(7);
+  const auto src = random_cloud(10, rng);
+  std::vector<Vec2> dst;
+  for (const auto& p : src) dst.push_back(p.rotated(0.8) * 3.0);
+  const Transform2 tf = fit_procrustes(src, dst, /*allow_scale=*/false);
+  EXPECT_DOUBLE_EQ(tf.scale, 1.0);
+}
+
+TEST(Procrustes, NoisyAlignmentStillReasonable) {
+  Rng rng(9);
+  const auto src = random_cloud(30, rng);
+  std::vector<Vec2> dst;
+  for (const auto& p : src)
+    dst.push_back(p.rotated(1.0) + Vec2{rng.normal(0.0, 0.01),
+                                        rng.normal(0.0, 0.01)});
+  const Transform2 tf = fit_procrustes(src, dst);
+  double err = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i)
+    err += distance(tf.apply(src[i]), dst[i]);
+  EXPECT_LT(err / static_cast<double>(src.size()), 0.02);
+}
+
+TEST(Procrustes, TwoPointMinimum) {
+  const std::vector<Vec2> src = {{0, 0}, {1, 0}};
+  const std::vector<Vec2> dst = {{0, 0}, {0, 2}};
+  const Transform2 tf = fit_procrustes(src, dst);
+  const Vec2 q = tf.apply({1, 0});
+  EXPECT_NEAR(q.x, 0.0, 1e-9);
+  EXPECT_NEAR(q.y, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bnloc

@@ -1,0 +1,130 @@
+// Cross-cutting property tests: invariants that must hold for every
+// combination of deployment style, ranging model, and connectivity model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/gaussian_bncl.hpp"
+#include "core/grid_bncl.hpp"
+#include "eval/crlb.hpp"
+#include "eval/metrics.hpp"
+
+namespace bnloc {
+namespace {
+
+using Combo = std::tuple<DeploymentKind, RangingType, ConnectivityType>;
+
+class ScenarioMatrix : public ::testing::TestWithParam<Combo> {
+ protected:
+  static ScenarioConfig make_config(const Combo& combo,
+                                    std::uint64_t seed = 17) {
+    ScenarioConfig cfg;
+    cfg.node_count = 120;
+    cfg.anchor_fraction = 0.1;
+    cfg.deployment.kind = std::get<0>(combo);
+    cfg.radio = make_radio(0.16, std::get<1>(combo), 0.1,
+                           std::get<2>(combo), 0.4);
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+TEST_P(ScenarioMatrix, ScenarioInvariants) {
+  const Scenario s = build_scenario(make_config(GetParam()));
+  // Structural invariants.
+  EXPECT_EQ(s.node_count(), 120u);
+  EXPECT_EQ(s.anchor_count(), 12u);
+  EXPECT_EQ(s.priors.size(), s.node_count());
+  for (const Vec2& p : s.true_positions) EXPECT_TRUE(s.field.contains(p));
+  // Links only within range, measured distances positive.
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    for (const Neighbor& nb : s.graph.neighbors(i)) {
+      EXPECT_LE(distance(s.true_positions[i], s.true_positions[nb.node]),
+                s.radio.range + 1e-12);
+      EXPECT_GT(nb.weight, 0.0);
+    }
+  }
+  // Priors are proper objects with density mass near the truth for most
+  // nodes (honesty; see test_deployment for the per-kind version).
+  std::size_t positive_density = 0;
+  for (std::size_t i = 0; i < s.node_count(); ++i)
+    if (s.priors[i]->density(s.true_positions[i]) > 0.0) ++positive_density;
+  EXPECT_GE(positive_density, s.node_count() * 9 / 10);
+}
+
+TEST_P(ScenarioMatrix, MeasurementNoiseIsUnbiasedEnough) {
+  const Scenario s = build_scenario(make_config(GetParam()));
+  // Median of measured/true ratios should be near 1 for both noise models.
+  std::vector<double> ratios;
+  for (std::size_t i = 0; i < s.node_count(); ++i)
+    for (const Neighbor& nb : s.graph.neighbors(i)) {
+      if (nb.node < i) continue;
+      const double true_d =
+          distance(s.true_positions[i], s.true_positions[nb.node]);
+      if (true_d > 1e-6) ratios.push_back(nb.weight / true_d);
+    }
+  ASSERT_GT(ratios.size(), 50u);
+  std::sort(ratios.begin(), ratios.end());
+  EXPECT_NEAR(ratios[ratios.size() / 2], 1.0, 0.08);
+}
+
+TEST_P(ScenarioMatrix, GridEngineBeatsFieldCenterGuessing) {
+  const Scenario s = build_scenario(make_config(GetParam()));
+  const GridBncl engine;
+  Rng rng(3);
+  const ErrorReport rep = evaluate(s, engine.localize(s, rng));
+  // Guessing the field center for every node scores ~0.38/0.16 = 2.4 R
+  // here; any functioning localizer must do far better.
+  EXPECT_LT(rep.summary.mean, 1.2);
+  EXPECT_DOUBLE_EQ(rep.coverage, 1.0);
+}
+
+TEST_P(ScenarioMatrix, CrlbIsAlwaysComputableWithPriors) {
+  const Scenario s = build_scenario(make_config(GetParam()));
+  const CrlbReport report = compute_crlb(s, true);
+  EXPECT_EQ(report.per_node.size(), s.unknown_count());
+  for (double b : report.per_node) {
+    EXPECT_TRUE(std::isfinite(b));
+    EXPECT_GE(b, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ScenarioMatrix,
+    ::testing::Combine(
+        ::testing::Values(DeploymentKind::uniform,
+                          DeploymentKind::grid_jitter,
+                          DeploymentKind::clusters,
+                          DeploymentKind::line_drop),
+        ::testing::Values(RangingType::gaussian, RangingType::log_normal),
+        ::testing::Values(ConnectivityType::unit_disk,
+                          ConnectivityType::quasi_udg)));
+
+// Seeds sweep: the engines' accuracy claim must not hinge on one draw.
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, EnginesStayOrderedAgainstHopCounting) {
+  ScenarioConfig cfg;
+  cfg.node_count = 120;
+  cfg.deployment.kind = DeploymentKind::line_drop;
+  cfg.radio = make_radio(0.16, RangingType::log_normal, 0.1);
+  cfg.seed = GetParam();
+  const Scenario s = build_scenario(cfg);
+  Rng r1(1), r2(1);
+  const double grid =
+      evaluate(s, GridBncl().localize(s, r1)).summary.mean;
+  const double gauss =
+      evaluate(s, GaussianBncl().localize(s, r2)).summary.mean;
+  // Both Bayesian engines localize to a fraction of a radio range with
+  // exact line-drop priors, regardless of the draw.
+  EXPECT_LT(grid, 0.45) << "seed " << GetParam();
+  EXPECT_LT(gauss, 0.45) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(101ULL, 202ULL, 303ULL, 404ULL,
+                                           505ULL));
+
+}  // namespace
+}  // namespace bnloc

@@ -1,0 +1,113 @@
+// Unit tests for the physical RSSI layer (radio/rssi.hpp).
+#include "radio/rssi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/stats.hpp"
+
+namespace bnloc {
+namespace {
+
+RssiModel default_model() { return RssiModel{}; }
+
+TEST(Rssi, MeanRssiDecreasesWithDistance) {
+  const RssiModel m = default_model();
+  double prev = m.mean_rssi(0.01);
+  for (double d = 0.02; d < 0.5; d += 0.02) {
+    const double r = m.mean_rssi(d);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Rssi, TenXDistanceCostsTenNDb) {
+  RssiModel m = default_model();
+  m.path_loss_exponent = 2.5;
+  const double drop = m.mean_rssi(0.02) - m.mean_rssi(0.2);
+  EXPECT_NEAR(drop, 25.0, 1e-9);
+}
+
+TEST(Rssi, InversionRoundTrips) {
+  const RssiModel m = default_model();
+  for (double d : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+    EXPECT_NEAR(m.distance_from_rssi(m.mean_rssi(d)), d, 1e-12);
+  }
+}
+
+TEST(Rssi, NominalRangeIsWhereSensitivityCrosses) {
+  const RssiModel m = default_model();
+  const double range = m.nominal_range();
+  EXPECT_NEAR(m.mean_rssi(range), m.sensitivity_dbm, 1e-9);
+}
+
+TEST(Rssi, RangingSigmaFormula) {
+  RssiModel m = default_model();
+  m.path_loss_exponent = 3.0;
+  m.shadowing_db = 6.0;
+  EXPECT_NEAR(m.ranging_sigma(), std::log(10.0) / 30.0 * 6.0, 1e-12);
+}
+
+TEST(Rssi, EquivalentRangingMatchesEmpiricalErrorDistribution) {
+  // The headline property: RSSI-derived distance estimates really are
+  // log-normal with the sigma that equivalent_ranging() reports.
+  const RssiModel m = default_model();
+  const RangingSpec spec = m.equivalent_ranging();
+  EXPECT_EQ(spec.type, RangingType::log_normal);
+  Rng rng(7);
+  const double d = 0.1;
+  RunningStats log_ratio;
+  for (int i = 0; i < 50000; ++i) {
+    const double est = rssi_range_measurement(m, m, d, rng);
+    if (est > 0.0) log_ratio.add(std::log(est / d));
+  }
+  EXPECT_NEAR(log_ratio.mean(), 0.0, 0.005);
+  EXPECT_NEAR(log_ratio.stddev(), spec.noise_factor, 0.01);
+}
+
+TEST(Rssi, PacketsBelowSensitivityAreLost) {
+  RssiModel m = default_model();
+  m.shadowing_db = 0.001;  // nearly deterministic
+  Rng rng(1);
+  const double far = 2.0 * m.nominal_range();
+  EXPECT_LT(rssi_range_measurement(m, m, far, rng), 0.0);
+  const double near = 0.5 * m.nominal_range();
+  EXPECT_GT(rssi_range_measurement(m, m, near, rng), 0.0);
+}
+
+TEST(Rssi, MiscalibratedExponentBiasesDistances) {
+  // Truth n=3, believed n=2.5: inverted distances are systematically off,
+  // increasingly so with distance.
+  const RssiModel truth = default_model();
+  const RssiModel believed = truth.with_exponent(2.5);
+  Rng rng(3);
+  RunningStats ratio_near, ratio_far;
+  for (int i = 0; i < 20000; ++i) {
+    const double e_near = rssi_range_measurement(truth, believed, 0.05, rng);
+    const double e_far = rssi_range_measurement(truth, believed, 0.12, rng);
+    if (e_near > 0.0) ratio_near.add(e_near / 0.05);
+    if (e_far > 0.0) ratio_far.add(e_far / 0.12);
+  }
+  // Believing a smaller exponent stretches distances (over-estimates), and
+  // more so for farther links.
+  EXPECT_GT(ratio_near.mean(), 1.05);
+  EXPECT_GT(ratio_far.mean(), ratio_near.mean());
+}
+
+TEST(Rssi, ShadowingWidensTheEstimateSpread) {
+  RssiModel quiet = default_model();
+  quiet.shadowing_db = 1.0;
+  RssiModel loud = default_model();
+  loud.shadowing_db = 8.0;
+  Rng r1(5), r2(5);
+  RunningStats sq, sl;
+  for (int i = 0; i < 20000; ++i) {
+    sq.add(rssi_range_measurement(quiet, quiet, 0.1, r1));
+    sl.add(rssi_range_measurement(loud, loud, 0.1, r2));
+  }
+  EXPECT_LT(sq.stddev(), sl.stddev());
+}
+
+}  // namespace
+}  // namespace bnloc

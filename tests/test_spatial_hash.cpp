@@ -1,0 +1,109 @@
+// Property tests for the spatial hash (geom/spatial_hash.hpp): every query
+// must agree exactly with brute force.
+#include "geom/spatial_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace bnloc {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, Rng& rng, const Aabb& box) {
+  std::vector<Vec2> pts(n);
+  for (auto& p : pts)
+    p = {rng.uniform(box.lo.x, box.hi.x), rng.uniform(box.lo.y, box.hi.y)};
+  return pts;
+}
+
+TEST(SpatialHash, EmptyQuery) {
+  const std::vector<Vec2> pts = {{0.9, 0.9}};
+  const SpatialHash index(pts, Aabb::unit(), 0.1);
+  EXPECT_TRUE(index.query_radius({0.1, 0.1}, 0.05).empty());
+}
+
+TEST(SpatialHash, FindsSelfAtZeroRadius) {
+  const std::vector<Vec2> pts = {{0.5, 0.5}};
+  const SpatialHash index(pts, Aabb::unit(), 0.1);
+  const auto hits = index.query_radius({0.5, 0.5}, 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+class SpatialHashProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(SpatialHashProperty, QueryRadiusMatchesBruteForce) {
+  const auto [n, radius] = GetParam();
+  Rng rng(1000 + n);
+  const Aabb box = Aabb::unit();
+  const auto pts = random_points(n, rng, box);
+  const SpatialHash index(pts, box, radius);
+  for (int q = 0; q < 20; ++q) {
+    const Vec2 center{rng.uniform(), rng.uniform()};
+    auto hits = index.query_radius(center, radius);
+    std::sort(hits.begin(), hits.end());
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      if (distance(pts[i], center) <= radius) expected.push_back(i);
+    EXPECT_EQ(hits, expected);
+  }
+}
+
+TEST_P(SpatialHashProperty, PairEnumerationMatchesBruteForce) {
+  const auto [n, radius] = GetParam();
+  Rng rng(2000 + n);
+  const Aabb box = Aabb::unit();
+  const auto pts = random_points(n, rng, box);
+  const SpatialHash index(pts, box, radius);
+
+  std::set<std::pair<std::size_t, std::size_t>> found;
+  index.for_each_pair_within(radius, [&](std::size_t i, std::size_t j,
+                                         double d) {
+    EXPECT_LT(i, j);
+    EXPECT_NEAR(d, distance(pts[i], pts[j]), 1e-12);
+    const bool inserted = found.insert({i, j}).second;
+    EXPECT_TRUE(inserted) << "pair visited twice: " << i << "," << j;
+  });
+
+  std::set<std::pair<std::size_t, std::size_t>> expected;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      if (distance(pts[i], pts[j]) <= radius) expected.insert({i, j});
+  EXPECT_EQ(found, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRadii, SpatialHashProperty,
+    ::testing::Values(std::tuple<std::size_t, double>{10, 0.2},
+                      std::tuple<std::size_t, double>{50, 0.15},
+                      std::tuple<std::size_t, double>{200, 0.1},
+                      std::tuple<std::size_t, double>{200, 0.35},
+                      std::tuple<std::size_t, double>{64, 0.05}));
+
+TEST(SpatialHash, PointsOutsideBoundsAreStillIndexed) {
+  // Clamping must not lose points that sit outside the nominal box.
+  const std::vector<Vec2> pts = {{-0.1, 0.5}, {1.2, 0.5}};
+  const SpatialHash index(pts, Aabb::unit(), 0.25);
+  const auto hits = index.query_radius({0.0, 0.5}, 0.15);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(SpatialHash, RadiusLargerThanCellSize) {
+  Rng rng(3);
+  const auto pts = random_points(100, rng, Aabb::unit());
+  const SpatialHash index(pts, Aabb::unit(), 0.05);  // small cells
+  const auto hits = index.query_radius({0.5, 0.5}, 0.4);  // big query
+  std::size_t expected = 0;
+  for (const auto& p : pts)
+    if (distance(p, {0.5, 0.5}) <= 0.4) ++expected;
+  EXPECT_EQ(hits.size(), expected);
+}
+
+}  // namespace
+}  // namespace bnloc

@@ -1,0 +1,119 @@
+// Unit tests for the synchronous lossy radio (net/sync_radio.hpp).
+#include "net/sync_radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bnloc {
+namespace {
+
+Graph triangle() {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+  return Graph(3, edges);
+}
+
+TEST(SyncRadio, LosslessDeliversEverything) {
+  const Graph g = triangle();
+  SyncRadio radio(g, 0.0, Rng(1));
+  for (int round = 0; round < 5; ++round) {
+    radio.begin_round();
+    EXPECT_TRUE(radio.delivered(0, 1));
+    EXPECT_TRUE(radio.delivered(1, 0));
+    EXPECT_TRUE(radio.delivered(2, 0));
+  }
+}
+
+TEST(SyncRadio, BroadcastAccounting) {
+  const Graph g = triangle();
+  SyncRadio radio(g, 0.0, Rng(1));
+  radio.begin_round();
+  radio.record_broadcast(0, 100);
+  radio.record_broadcast(1, 50);
+  const CommStats& st = radio.stats();
+  EXPECT_EQ(st.rounds, 1u);
+  EXPECT_EQ(st.messages_sent, 2u);
+  EXPECT_EQ(st.bytes_sent, 150u);
+  // Node 0 and 1 each have 2 neighbors; all deliveries succeed.
+  EXPECT_EQ(st.messages_received, 4u);
+}
+
+TEST(SyncRadio, PerNodeAverages) {
+  CommStats st;
+  st.messages_sent = 30;
+  st.bytes_sent = 3000;
+  EXPECT_DOUBLE_EQ(st.messages_per_node(10), 3.0);
+  EXPECT_DOUBLE_EQ(st.bytes_per_node(10), 300.0);
+  EXPECT_DOUBLE_EQ(st.messages_per_node(0), 0.0);
+}
+
+TEST(SyncRadio, MergeAddsCounters) {
+  CommStats a, b;
+  a.rounds = 1;
+  a.messages_sent = 2;
+  b.rounds = 3;
+  b.messages_sent = 4;
+  b.bytes_sent = 10;
+  a.merge(b);
+  EXPECT_EQ(a.rounds, 4u);
+  EXPECT_EQ(a.messages_sent, 6u);
+  EXPECT_EQ(a.bytes_sent, 10u);
+}
+
+TEST(SyncRadio, LossRateApproximatelyRespected) {
+  const Graph g = triangle();
+  SyncRadio radio(g, 0.3, Rng(99));
+  std::size_t delivered = 0, total = 0;
+  for (int round = 0; round < 4000; ++round) {
+    radio.begin_round();
+    for (std::size_t u = 0; u < 3; ++u)
+      for (const Neighbor& nb : g.neighbors(u)) {
+        ++total;
+        if (radio.delivered(u, nb.node)) ++delivered;
+      }
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / static_cast<double>(total),
+              0.7, 0.01);
+}
+
+TEST(SyncRadio, LossIsPerDirectedLink) {
+  // With loss, (u->v) and (v->u) draw independently; over many rounds we
+  // must observe rounds where one direction delivers and the other drops.
+  const Graph g = triangle();
+  SyncRadio radio(g, 0.5, Rng(5));
+  bool asymmetric = false;
+  for (int round = 0; round < 200 && !asymmetric; ++round) {
+    radio.begin_round();
+    asymmetric = radio.delivered(0, 1) != radio.delivered(1, 0);
+  }
+  EXPECT_TRUE(asymmetric);
+}
+
+TEST(SyncRadio, ReceivedCountsOnlyDeliveries) {
+  const Graph g = triangle();
+  SyncRadio radio(g, 0.6, Rng(7));
+  std::size_t manual = 0;
+  for (int round = 0; round < 300; ++round) {
+    radio.begin_round();
+    for (const Neighbor& nb : g.neighbors(0))
+      if (radio.delivered(0, nb.node)) ++manual;
+    radio.record_broadcast(0, 1);
+  }
+  EXPECT_EQ(radio.stats().messages_received, manual);
+}
+
+TEST(SyncRadio, DeterministicInRngSeed) {
+  const Graph g = triangle();
+  SyncRadio a(g, 0.4, Rng(11));
+  SyncRadio b(g, 0.4, Rng(11));
+  for (int round = 0; round < 50; ++round) {
+    a.begin_round();
+    b.begin_round();
+    for (std::size_t u = 0; u < 3; ++u)
+      for (const Neighbor& nb : g.neighbors(u))
+        EXPECT_EQ(a.delivered(u, nb.node), b.delivered(u, nb.node));
+  }
+}
+
+}  // namespace
+}  // namespace bnloc

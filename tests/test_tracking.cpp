@@ -1,0 +1,119 @@
+// Tests for the sequential-tracking extension (core/tracking.hpp).
+#include "core/tracking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bnloc {
+namespace {
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;
+  cfg.node_count = 100;
+  cfg.anchor_fraction = 0.1;
+  cfg.deployment.kind = DeploymentKind::grid_jitter;
+  cfg.radio = make_radio(0.16, RangingType::log_normal, 0.1);
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(PosteriorToPrior, InflatesByMotionVariance) {
+  const Cov2 cov = Cov2::isotropic(0.0004);
+  const MotionSpec motion{.step_sigma = 0.03};
+  const PriorPtr prior = posterior_to_prior({0.4, 0.6}, cov, motion);
+  EXPECT_NEAR(prior->mean().x, 0.4, 1e-12);
+  EXPECT_NEAR(prior->covariance().xx, 0.0004 + 0.0009, 1e-9);
+  EXPECT_NEAR(prior->covariance().xy, 0.0, 1e-9);
+}
+
+TEST(PosteriorToPrior, PreservesAnisotropy) {
+  // Elongated along x: the reconstructed Gaussian must keep that shape.
+  const Cov2 cov{0.01, 0.0, 0.0001};
+  const PriorPtr prior =
+      posterior_to_prior({0.5, 0.5}, cov, MotionSpec{.step_sigma = 0.0});
+  EXPECT_NEAR(prior->covariance().xx, 0.01, 1e-9);
+  EXPECT_NEAR(prior->covariance().yy, 0.0001, 1e-9);
+}
+
+TEST(PosteriorToPrior, HandlesCorrelatedCovariance) {
+  const Cov2 cov{0.01, 0.004, 0.006};
+  const PriorPtr prior =
+      posterior_to_prior({0.5, 0.5}, cov, MotionSpec{.step_sigma = 0.0});
+  const Cov2 rebuilt = prior->covariance();
+  EXPECT_NEAR(rebuilt.xx, cov.xx, 1e-9);
+  EXPECT_NEAR(rebuilt.xy, cov.xy, 1e-9);
+  EXPECT_NEAR(rebuilt.yy, cov.yy, 1e-9);
+}
+
+TEST(Tracking, RunsRequestedEpochs) {
+  TrackingConfig tc;
+  tc.epochs = 4;
+  Rng rng(1);
+  const auto epochs = run_tracking(base_config(), tc, rng);
+  ASSERT_EQ(epochs.size(), 4u);
+  for (const auto& e : epochs) {
+    EXPECT_GT(e.iterations, 0u);
+    EXPECT_GT(e.comm.messages_sent, 0u);
+    EXPECT_GE(e.mean_error, 0.0);
+  }
+}
+
+TEST(Tracking, DeterministicInRng) {
+  TrackingConfig tc;
+  tc.epochs = 3;
+  Rng r1(2), r2(2);
+  const auto a = run_tracking(base_config(), tc, r1);
+  const auto b = run_tracking(base_config(), tc, r2);
+  for (std::size_t e = 0; e < a.size(); ++e)
+    EXPECT_DOUBLE_EQ(a[e].mean_error, b[e].mean_error);
+}
+
+TEST(Tracking, WarmStartBeatsUniformPriorsOverTime) {
+  TrackingConfig warm, cold;
+  warm.epochs = cold.epochs = 5;
+  warm.prior_mode = TrackingPriorMode::posterior;
+  cold.prior_mode = TrackingPriorMode::uniform;
+  // Sparser anchors so pre-knowledge matters.
+  ScenarioConfig cfg = base_config();
+  cfg.anchor_fraction = 0.06;
+  Rng r1(3), r2(3);
+  const auto w = run_tracking(cfg, warm, r1);
+  const auto u = run_tracking(cfg, cold, r2);
+  double warm_tail = 0.0, uniform_tail = 0.0;
+  for (std::size_t e = 2; e < 5; ++e) {
+    warm_tail += w[e].mean_error;
+    uniform_tail += u[e].mean_error;
+  }
+  EXPECT_LT(warm_tail, uniform_tail);
+}
+
+TEST(Tracking, ErrorStaysBoundedUnderDrift) {
+  // The posterior->prior loop must not diverge: late epochs should look
+  // like early epochs, not like an unlocalized network.
+  TrackingConfig tc;
+  tc.epochs = 6;
+  tc.motion.step_sigma = 0.02;
+  Rng rng(4);
+  const auto epochs = run_tracking(base_config(), tc, rng);
+  EXPECT_LT(epochs.back().mean_error, 3.0 * epochs.front().mean_error + 0.2);
+}
+
+TEST(Tracking, StalePriorsDegradeRelativeToPosteriorPriors) {
+  TrackingConfig fresh, stale;
+  fresh.epochs = stale.epochs = 6;
+  fresh.motion.step_sigma = stale.motion.step_sigma = 0.04;  // fast drift
+  fresh.prior_mode = TrackingPriorMode::posterior;
+  stale.prior_mode = TrackingPriorMode::original;
+  ScenarioConfig cfg = base_config();
+  cfg.anchor_fraction = 0.06;
+  Rng r1(5), r2(5);
+  const auto f = run_tracking(cfg, fresh, r1);
+  const auto s = run_tracking(cfg, stale, r2);
+  // After several epochs of drift the original deployment priors point at
+  // stale positions; posterior-propagation must win by then.
+  EXPECT_LT(f.back().mean_error, s.back().mean_error);
+}
+
+}  // namespace
+}  // namespace bnloc
