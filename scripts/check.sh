@@ -5,16 +5,28 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Reuse an existing build tree as-is (its generator is baked into the
+# cache); otherwise prefer Ninja when available, default generator if not.
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+elif command -v ninja > /dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
 cmake --build build
 ctest --test-dir build --output-on-failure
 
 export BNLOC_FAST=1
+# Skip non-binaries: Makefile-generator builds leave CMakeFiles/ dirs in
+# the runtime output directories.
 for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
   echo "--- $b"
   "$b" > /dev/null
 done
 for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
   echo "--- $e"
   (cd build && "../$e" > /dev/null)
 done

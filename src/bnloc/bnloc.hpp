@@ -32,6 +32,8 @@
 #include "eval/crlb.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "fault/anchor_vetting.hpp"
+#include "fault/fault.hpp"
 #include "geom/aabb.hpp"
 #include "geom/cov2.hpp"
 #include "geom/vec2.hpp"

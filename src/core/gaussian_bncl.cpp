@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/anchor_vetting.hpp"
 #include "inference/gaussian2d.hpp"
 #include "net/sync_radio.hpp"
 #include "support/assert.hpp"
@@ -21,9 +22,27 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
   const std::size_t n = scenario.node_count();
   LocalizationResult result = make_result_skeleton(scenario);
 
+  // Anchor vetting: a flagged anchor keeps its reported mean but gets a
+  // radio-range-wide covariance and is re-estimated like an unknown, so its
+  // lie is softened instead of propagated at anchor confidence.
+  std::vector<unsigned char> acts_anchor(n, 0);
+  for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
+  if (config_.anchor_vetting) {
+    const AnchorVetReport vet = vet_anchors(scenario);
+    for (std::size_t i = 0; i < n; ++i)
+      if (scenario.is_anchor[i] && vet.flagged[i]) acts_anchor[i] = 0;
+  }
+
   std::vector<Gaussian2> belief(n), prior(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (scenario.is_anchor[i]) {
+    if (scenario.is_anchor[i] && !acts_anchor[i]) {
+      belief[i].mean = scenario.anchor_position(i);
+      belief[i].cov = Cov2::isotropic(scenario.radio.range *
+                                      scenario.radio.range);
+      prior[i] = belief[i];
+      continue;
+    }
+    if (acts_anchor[i]) {
       belief[i].mean = scenario.anchor_position(i);
       belief[i].cov =
           Cov2::isotropic(config_.anchor_sigma * config_.anchor_sigma);
@@ -43,15 +62,25 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
   // Published snapshots (cur/prev) model broadcast + possible loss.
   std::vector<Gaussian2> cur_pub = belief, prev_pub = belief;
 
-  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10));
+  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10),
+                  scenario.faults.death_round);
   // A Gaussian summary is mean + covariance: 5 floats = 20 bytes.
   constexpr std::size_t kPayloadBytes = 20;
+
+  // Per directed CSR slot (receiver-side): round a neighbor's belief was
+  // last delivered; drives the stale-belief TTL.
+  std::vector<std::size_t> slot_offset(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    slot_offset[i + 1] = slot_offset[i] + scenario.graph.degree(i);
+  std::vector<std::size_t> last_heard(
+      config_.stale_ttl > 0 ? slot_offset[n] : 0, 0);
 
   std::vector<Gaussian2> staged = belief;
   std::size_t iter = 0;
   for (; iter < config_.max_iterations; ++iter) {
     radio.begin_round();
     for (std::size_t u = 0; u < n; ++u) {
+      if (radio.crashed(u)) continue;  // published state freezes at death
       prev_pub[u] = cur_pub[u];
       cur_pub[u] = belief[u];
       radio.record_broadcast(u, kPayloadBytes);
@@ -61,13 +90,31 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
     double sum_motion = 0.0;
     std::size_t unknowns = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (scenario.is_anchor[i]) continue;
+      if (acts_anchor[i]) continue;
+      if (radio.crashed(i)) continue;  // dead nodes stop computing too
       InfoAccumulator acc(prior[i]);
-      for (const Neighbor& nb : scenario.graph.neighbors(i)) {
-        const Gaussian2& src =
-            radio.delivered(nb.node, i) ? cur_pub[nb.node] : prev_pub[nb.node];
-        acc.add_range(src, belief[i].mean, nb.weight,
-                      scenario.radio.ranging.sigma_at(nb.weight));
+      const auto nbs = scenario.graph.neighbors(i);
+      for (std::size_t k = 0; k < nbs.size(); ++k) {
+        const Neighbor& nb = nbs[k];
+        const bool fresh = radio.delivered(nb.node, i);
+        if (config_.stale_ttl > 0) {
+          std::size_t& heard = last_heard[slot_offset[i] + k];
+          if (fresh) heard = iter + 1;
+          // Neighbor silent beyond the TTL: presumed dead, link dropped.
+          else if (iter + 1 - heard > config_.stale_ttl)
+            continue;
+        }
+        const Gaussian2& src = fresh ? cur_pub[nb.node] : prev_pub[nb.node];
+        double sigma = scenario.radio.ranging.sigma_at(nb.weight);
+        if (config_.robust) {
+          // Huber/IRLS: beyond k sigmas, weight w = k*sigma/|r| — realized
+          // here by inflating the observation noise by 1/sqrt(w).
+          const double residual =
+              std::abs(nb.weight - distance(belief[i].mean, src.mean));
+          const double gate = config_.huber_k * sigma;
+          if (residual > gate) sigma *= std::sqrt(residual / gate);
+        }
+        acc.add_range(src, belief[i].mean, nb.weight, sigma);
       }
       Gaussian2 post = acc.posterior();
       // Damp the mean; keep the fresher covariance.
@@ -81,7 +128,7 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
       staged[i] = post;
     }
     for (std::size_t i = 0; i < n; ++i)
-      if (!scenario.is_anchor[i]) belief[i] = staged[i];
+      if (!acts_anchor[i] && !radio.crashed(i)) belief[i] = staged[i];
 
     result.change_per_iteration.push_back(
         unknowns ? sum_motion / static_cast<double>(unknowns) : 0.0);

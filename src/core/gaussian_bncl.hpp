@@ -20,13 +20,28 @@ struct GaussianBnclConfig {
                                    ///< radio range) drops below.
   double anchor_sigma = 1e-4;     ///< anchor belief stddev (exactness).
   double packet_loss = 0.0;
+
+  // --- Robustness countermeasures (F13; all off by default) ---------------
+  /// Huber-style residual downweighting: a range residual beyond
+  /// `huber_k` sigmas has its observation noise inflated so one NLOS
+  /// outlier cannot drag the linearized update (IRLS weight w = k*sigma/|r|).
+  bool robust = false;
+  double huber_k = 1.5;
+  /// Residual-vet reported anchor positions; flagged anchors get a wide
+  /// belief and are re-estimated like unknowns.
+  bool anchor_vetting = false;
+  /// Ignore a neighbor's last-received belief after this many consecutive
+  /// undelivered rounds (dead neighbors decay out). 0 disables.
+  std::size_t stale_ttl = 0;
 };
 
 class GaussianBncl final : public Localizer {
  public:
   explicit GaussianBncl(GaussianBnclConfig config = {});
 
-  [[nodiscard]] std::string name() const override { return "bncl-gauss"; }
+  [[nodiscard]] std::string name() const override {
+    return config_.robust ? "bncl-gauss-robust" : "bncl-gauss";
+  }
   [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
                                             Rng& rng) const override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/anchor_vetting.hpp"
 #include "inference/grid_belief.hpp"
 #include "inference/range_kernel.hpp"
 #include "net/sync_radio.hpp"
@@ -18,7 +19,10 @@ GridBncl::GridBncl(GridBnclConfig config) : config_(std::move(config)) {
 }
 
 std::string GridBncl::name() const {
-  return config_.use_negative_evidence ? "bncl-grid" : "bncl-grid-noneg";
+  std::string name =
+      config_.use_negative_evidence ? "bncl-grid" : "bncl-grid-noneg";
+  if (config_.robust_likelihood) name += "-robust";
+  return name;
 }
 
 namespace {
@@ -58,6 +62,27 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   const std::size_t side = config_.grid_side;
   LocalizationResult result = make_result_skeleton(scenario);
 
+  // --- Robustness preamble ------------------------------------------------
+  // Anchor vetting: flagged anchors act as wide-prior unknowns below, so a
+  // drifted anchor position is evidence to be weighed, not truth to obey.
+  std::vector<unsigned char> acts_anchor(n, 0);
+  for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
+  std::vector<PriorPtr> demoted_prior(n);
+  if (config_.anchor_vetting) {
+    const AnchorVetReport vet = vet_anchors(scenario);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!scenario.is_anchor[i] || !vet.flagged[i]) continue;
+      acts_anchor[i] = 0;
+      demoted_prior[i] = GaussianPrior::isotropic(scenario.anchor_position(i),
+                                                  scenario.radio.range);
+    }
+  }
+  const RangingSpec ranging =
+      config_.robust_likelihood
+          ? scenario.radio.ranging.contaminated(config_.contamination_epsilon,
+                                                config_.contamination_tail_scale)
+          : scenario.radio.ranging;
+
   // --- Belief state ------------------------------------------------------
   std::vector<GridBelief> belief;
   belief.reserve(n);
@@ -66,11 +91,12 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   for (std::size_t i = 0; i < n; ++i) {
     GridBelief b(scenario.field, side);
     GridBelief p(scenario.field, side);
-    if (scenario.is_anchor[i]) {
+    if (acts_anchor[i]) {
       b.set_delta(scenario.anchor_position(i));
       p.set_delta(scenario.anchor_position(i));
     } else {
-      p.set_from_prior(*scenario.priors[i]);
+      p.set_from_prior(demoted_prior[i] ? *demoted_prior[i]
+                                        : *scenario.priors[i]);
       b = p;
     }
     belief.push_back(std::move(b));
@@ -92,8 +118,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   const GridBelief& shape = belief.front();
   for (std::size_t i = 0; i < n; ++i)
     for (const Neighbor& nb : scenario.graph.neighbors(i))
-      kernels.push_back(
-          RangeKernel::make_range(nb.weight, scenario.radio.ranging, shape));
+      kernels.push_back(RangeKernel::make_range(nb.weight, ranging, shape));
 
   const RangeKernel conn_kernel =
       config_.use_negative_evidence
@@ -104,8 +129,14 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           ? two_hop_nonlinks(scenario, config_.negative_max_pairs)
           : std::vector<std::vector<std::size_t>>();
 
-  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10));
+  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10),
+                  scenario.faults.death_round);
   const bool always_publish = config_.packet_loss > 0.0;
+  // Round a neighbor's summary was last delivered, per directed CSR slot
+  // (receiver-side); drives the stale-belief TTL.
+  std::vector<std::size_t> last_heard(config_.stale_ttl > 0 ? kernel_offset[n]
+                                                            : 0,
+                                      0);
 
   std::vector<double> msg(side * side);
   const auto emit_estimates = [&](std::vector<GridBelief>& beliefs) {
@@ -122,12 +153,15 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   for (; iter < config_.max_iterations; ++iter) {
     radio.begin_round();
 
-    // Publish phase: decide who broadcasts this round.
+    // Publish phase: decide who broadcasts this round. A crashed node's
+    // published state freezes at its last alive summary — neighbors keep
+    // using the copy they last received (until the TTL retires it).
     for (std::size_t u = 0; u < n; ++u) {
+      if (radio.crashed(u)) continue;
       SparseBelief sp =
           belief[u].sparsify(config_.support_mass, config_.max_support_cells);
       const bool informative =
-          scenario.is_anchor[u] ||
+          acts_anchor[u] ||
           sp.covered_fraction >= config_.informative_coverage;
       if (!informative) continue;
       bool publish;
@@ -157,14 +191,23 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
     double sum_change = 0.0;
     std::size_t changed_nodes = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (scenario.is_anchor[i]) continue;
+      if (acts_anchor[i]) continue;
+      if (radio.crashed(i)) continue;  // dead nodes stop computing too
       GridBelief& next = staged[i];
       next = prior_grid[i];
       const auto nbs = scenario.graph.neighbors(i);
       for (std::size_t k = 0; k < nbs.size(); ++k) {
         const std::size_t j = nbs[k].node;
-        const SparseBelief& src =
-            radio.delivered(j, i) ? cur_pub[j] : prev_pub[j];
+        const bool fresh = radio.delivered(j, i);
+        if (config_.stale_ttl > 0) {
+          std::size_t& heard = last_heard[kernel_offset[i] + k];
+          if (fresh) heard = iter + 1;
+          // Undelivered for longer than the TTL: the neighbor is presumed
+          // dead and its stale summary decays out of the product.
+          else if (iter + 1 - heard > config_.stale_ttl)
+            continue;
+        }
+        const SparseBelief& src = fresh ? cur_pub[j] : prev_pub[j];
         if (src.empty()) continue;
         std::fill(msg.begin(), msg.end(), 0.0);
         kernels[kernel_offset[i] + k].accumulate(src, msg, side);
@@ -175,6 +218,9 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       }
       if (config_.use_negative_evidence) {
         for (std::size_t far : nonlinks[i]) {
+          // With a TTL active, a dead node's frozen summary stops being
+          // usable as non-link evidence as well.
+          if (config_.stale_ttl > 0 && radio.crashed(far)) continue;
           const SparseBelief& src = cur_pub[far];
           // Negative evidence only pays off against a concentrated belief.
           if (src.empty() || src.covered_fraction < 0.9) continue;
@@ -203,7 +249,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
     }
     if (!gauss_seidel)
       for (std::size_t i = 0; i < n; ++i)
-        if (!scenario.is_anchor[i]) belief[i] = staged[i];
+        if (!acts_anchor[i] && !radio.crashed(i)) belief[i] = staged[i];
 
     const double mean_change =
         changed_nodes ? sum_change / static_cast<double>(changed_nodes) : 0.0;

@@ -66,6 +66,23 @@ struct GridBnclConfig {
   double packet_loss = 0.0;         ///< per-reception drop probability.
   bool map_estimate = false;        ///< MAP cell instead of MMSE mean.
 
+  // --- Robustness countermeasures (F13; all off by default, and no-ops on
+  // --- a fault-free scenario) --------------------------------------------
+  /// Use an ε-contamination range likelihood (nominal density mixed with a
+  /// one-sided exponential NLOS tail) so a single outlier link cannot veto
+  /// the true position cell.
+  bool robust_likelihood = false;
+  double contamination_epsilon = 0.1;
+  double contamination_tail_scale = 1.5;
+  /// Residual-vet the reported anchor positions (fault/anchor_vetting.hpp);
+  /// flagged anchors are demoted to wide-prior unknowns instead of pinning
+  /// their neighborhood to a lie.
+  bool anchor_vetting = false;
+  /// Drop a neighbor's last-received summary after this many consecutive
+  /// undelivered rounds, so dead neighbors decay out of the posterior
+  /// instead of freezing it. 0 disables (the non-robust behavior).
+  std::size_t stale_ttl = 0;
+
   /// Optional per-iteration hook (estimates indexed by node; anchors too).
   std::function<void(std::size_t iteration,
                      std::span<const std::optional<Vec2>> estimates)>

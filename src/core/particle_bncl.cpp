@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fault/anchor_vetting.hpp"
 #include "inference/particle_set.hpp"
 #include "net/sync_radio.hpp"
 #include "support/assert.hpp"
@@ -25,15 +26,38 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   const std::size_t k_particles = config_.particle_count;
   LocalizationResult result = make_result_skeleton(scenario);
 
+  // Anchor vetting: flagged anchors trade their delta cloud for a
+  // radio-range-wide one and re-estimate like unknowns.
+  std::vector<unsigned char> acts_anchor(n, 0);
+  for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
+  std::vector<PriorPtr> demoted_prior(n);
+  if (config_.anchor_vetting) {
+    const AnchorVetReport vet = vet_anchors(scenario);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!scenario.is_anchor[i] || !vet.flagged[i]) continue;
+      acts_anchor[i] = 0;
+      demoted_prior[i] = GaussianPrior::isotropic(scenario.anchor_position(i),
+                                                  scenario.radio.range);
+    }
+  }
+  const auto prior_of = [&](std::size_t i) -> const PositionPrior& {
+    return demoted_prior[i] ? *demoted_prior[i] : *scenario.priors[i];
+  };
+  const RangingSpec ranging =
+      config_.robust_likelihood
+          ? scenario.radio.ranging.contaminated(config_.contamination_epsilon,
+                                                config_.contamination_tail_scale)
+          : scenario.radio.ranging;
+
   Rng init_rng = rng.split(0x9a111);
   std::vector<ParticleSet> belief;
   belief.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    belief.push_back(scenario.is_anchor[i]
+    belief.push_back(acts_anchor[i]
                          ? ParticleSet::delta(scenario.anchor_position(i),
                                               k_particles)
-                         : ParticleSet::from_prior(*scenario.priors[i],
-                                                   k_particles, init_rng));
+                         : ParticleSet::from_prior(prior_of(i), k_particles,
+                                                   init_rng));
   }
   // Published clouds: the subsampled particles a node put on the air, with
   // the cloud's RMS spread (the informativeness gate on the receiver side).
@@ -42,8 +66,17 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   std::vector<double> cur_spread(n, 1e30), prev_spread(n, 1e30);
   const double spread_gate = config_.informative_spread * scenario.radio.range;
 
-  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10));
+  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10),
+                  scenario.faults.death_round);
   Rng work_rng = rng.split(0x40c);
+
+  // Per directed CSR slot (receiver-side): round a neighbor's cloud was
+  // last delivered; drives the stale-belief TTL.
+  std::vector<std::size_t> slot_offset(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    slot_offset[i + 1] = slot_offset[i] + scenario.graph.degree(i);
+  std::vector<std::size_t> last_heard(
+      config_.stale_ttl > 0 ? slot_offset[n] : 0, 0);
 
   std::vector<Vec2> prev_mean(n);
   for (std::size_t i = 0; i < n; ++i) prev_mean[i] = belief[i].mean();
@@ -55,8 +88,10 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
 
     // Publish: every node broadcasts a subsample of its cloud each round
     // (particle beliefs have no cheap silence criterion; this matches the
-    // constant-duty-cycle NBP protocol).
+    // constant-duty-cycle NBP protocol). A crashed node's published cloud
+    // freezes at its last alive state.
     for (std::size_t u = 0; u < n; ++u) {
+      if (radio.crashed(u)) continue;
       const auto idx =
           belief[u].subsample(config_.message_subsample, work_rng);
       prev_pub[u] = std::move(cur_pub[u]);
@@ -69,9 +104,18 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     }
 
     // Update: refresh part of the cloud, then reweight against messages.
+    // `k` is the neighbor's index in `to`'s CSR list (for the TTL slot).
     const auto usable_cloud =
-        [&](std::size_t from, std::size_t to) -> const std::vector<Vec2>* {
+        [&](std::size_t from, std::size_t to,
+            std::size_t k) -> const std::vector<Vec2>* {
       const bool fresh = radio.delivered(from, to);
+      if (config_.stale_ttl > 0) {
+        std::size_t& heard = last_heard[slot_offset[to] + k];
+        if (fresh) heard = iter + 1;
+        // Neighbor silent beyond the TTL: presumed dead, cloud retired.
+        else if (iter + 1 - heard > config_.stale_ttl)
+          return nullptr;
+      }
       const std::vector<Vec2>& cloud = fresh ? cur_pub[from] : prev_pub[from];
       const double spread = fresh ? cur_spread[from] : prev_spread[from];
       if (cloud.empty() || spread > spread_gate) return nullptr;
@@ -80,7 +124,8 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     double mean_motion = 0.0;
     std::size_t unknowns = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (scenario.is_anchor[i]) continue;
+      if (acts_anchor[i]) continue;
+      if (radio.crashed(i)) continue;  // dead nodes stop computing too
       ParticleSet& b = belief[i];
       const auto nbs = scenario.graph.neighbors(i);
 
@@ -95,17 +140,16 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
                             static_cast<double>(k_particles));
       for (std::size_t r = 0; r < n_prior; ++r) {
         const std::size_t slot = work_rng.uniform_index(k_particles);
-        pts[slot] = scenario.priors[i]->sample(work_rng);
+        pts[slot] = prior_of(i).sample(work_rng);
       }
       for (std::size_t r = 0; r < n_ring; ++r) {
         const std::size_t kk = work_rng.uniform_index(nbs.size());
-        const std::vector<Vec2>* cloud = usable_cloud(nbs[kk].node, i);
+        const std::vector<Vec2>* cloud = usable_cloud(nbs[kk].node, i, kk);
         if (!cloud) continue;
         const Vec2 y = (*cloud)[work_rng.uniform_index(cloud->size())];
         const double noisy_r = std::max(
             1e-6, nbs[kk].weight +
-                      work_rng.normal(0.0, scenario.radio.ranging.sigma_at(
-                                               nbs[kk].weight)));
+                      work_rng.normal(0.0, ranging.sigma_at(nbs[kk].weight)));
         const double theta = work_rng.uniform(0.0, 6.283185307179586);
         const std::size_t slot = work_rng.uniform_index(k_particles);
         pts[slot] = scenario.field.clamp(
@@ -113,14 +157,13 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
       }
       // -- reweight against prior and messages.
       for (std::size_t p = 0; p < pts.size(); ++p) {
-        double w = scenario.priors[i]->density(pts[p]) + 1e-12;
+        double w = prior_of(i).density(pts[p]) + 1e-12;
         for (std::size_t kk = 0; kk < nbs.size(); ++kk) {
-          const std::vector<Vec2>* cloud = usable_cloud(nbs[kk].node, i);
+          const std::vector<Vec2>* cloud = usable_cloud(nbs[kk].node, i, kk);
           if (!cloud) continue;
           double msg = 0.0;
           for (const Vec2& y : *cloud)
-            msg += scenario.radio.ranging.likelihood(nbs[kk].weight,
-                                                     distance(pts[p], y));
+            msg += ranging.likelihood(nbs[kk].weight, distance(pts[p], y));
           msg /= static_cast<double>(cloud->size());
           // Floor keeps one conflicting link from zeroing the particle.
           w *= msg + 1e-6;

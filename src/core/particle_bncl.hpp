@@ -32,13 +32,29 @@ struct ParticleBnclConfig {
   /// grid engine's informative-coverage gate).
   double informative_spread = 1.5;
   double packet_loss = 0.0;
+
+  // --- Robustness countermeasures (F13; all off by default) ---------------
+  /// Use an ε-contamination range likelihood in the particle reweighting so
+  /// an NLOS outlier link cannot zero the particles near the true position.
+  bool robust_likelihood = false;
+  double contamination_epsilon = 0.1;
+  double contamination_tail_scale = 1.5;
+  /// Residual-vet reported anchor positions; flagged anchors get a
+  /// radio-range-wide cloud and are re-estimated like unknowns.
+  bool anchor_vetting = false;
+  /// Ignore a neighbor's last-received cloud after this many consecutive
+  /// undelivered rounds (dead neighbors decay out). 0 disables.
+  std::size_t stale_ttl = 0;
 };
 
 class ParticleBncl final : public Localizer {
  public:
   explicit ParticleBncl(ParticleBnclConfig config = {});
 
-  [[nodiscard]] std::string name() const override { return "bncl-particle"; }
+  [[nodiscard]] std::string name() const override {
+    return config_.robust_likelihood ? "bncl-particle-robust"
+                                     : "bncl-particle";
+  }
   [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
                                             Rng& rng) const override;
 

@@ -14,7 +14,10 @@ std::size_t Scenario::anchor_count() const noexcept {
 Vec2 Scenario::anchor_position(std::size_t node) const {
   BNLOC_ASSERT(node < node_count(), "node index out of range");
   BNLOC_ASSERT(is_anchor[node], "position of a non-anchor is hidden");
-  return true_positions[node];
+  // Hand-built scenarios (tests) may omit reported_positions; they then
+  // report truthfully.
+  return reported_positions.empty() ? true_positions[node]
+                                    : reported_positions[node];
 }
 
 std::vector<std::size_t> Scenario::anchor_indices() const {
@@ -85,9 +88,33 @@ Scenario build_scenario(const ScenarioConfig& config) {
     }
   }
 
-  const std::vector<Edge> edges =
+  std::vector<Edge> edges =
       generate_links(s.true_positions, s.field, config.radio, link_rng);
-  s.graph = Graph(config.node_count, edges);
+  s.reported_positions = s.true_positions;
+
+  // Fault injection happens on the raw ingredients (edge list, reported
+  // positions) before the CSR graph freezes, off an independent RNG stream
+  // so a zero-fault scenario is bit-identical to a fault-free build.
+  if (config.faults.any()) {
+    std::uint64_t fault_state =
+        config.seed ^ (config.faults.seed * 0x9e3779b97f4a7c15ULL);
+    Rng fault_rng(splitmix64(fault_state));
+    Rng outlier_rng = fault_rng.split(0x0471);
+    Rng anchor_fault_rng = fault_rng.split(0xd71f);
+    Rng crash_rng = fault_rng.split(0xc4a5);
+
+    const FaultInjector injector(config.faults);
+    const std::vector<unsigned char> edge_outlier = injector.contaminate_links(
+        edges, s.true_positions, config.radio.ranging, outlier_rng);
+    s.faults.anchor_faulty = injector.drift_anchors(
+        s.reported_positions, s.is_anchor, s.field, anchor_fault_rng);
+    s.faults.death_round =
+        injector.schedule_crashes(config.node_count, crash_rng);
+    s.graph = Graph(config.node_count, edges);
+    finalize_fault_labels(s.faults, s.graph, edges, edge_outlier);
+  } else {
+    s.graph = Graph(config.node_count, edges);
+  }
   return s;
 }
 

@@ -12,6 +12,7 @@
 
 #include "deploy/anchors.hpp"
 #include "deploy/deployment.hpp"
+#include "fault/fault.hpp"
 #include "geom/aabb.hpp"
 #include "geom/vec2.hpp"
 #include "graph/adjacency.hpp"
@@ -40,6 +41,9 @@ struct ScenarioConfig {
   double prior_widen_factor = 3.0;
   /// Bias offset magnitude as a fraction of the field width.
   double prior_bias_factor = 0.15;
+  /// Fault injection (F13). Empty spec -> bit-identical to a fault-free
+  /// build; see fault/fault.hpp.
+  FaultSpec faults{};
   std::uint64_t seed = 1;
 };
 
@@ -47,9 +51,15 @@ struct Scenario {
   Aabb field;
   RadioSpec radio;
   std::vector<Vec2> true_positions;  ///< ground truth; for evaluation only.
+  /// Positions as the nodes themselves report them: equal to the truth
+  /// except for fault-injected drifting anchors. This is what algorithms
+  /// see via anchor_position().
+  std::vector<Vec2> reported_positions;
   std::vector<bool> is_anchor;
   std::vector<PriorPtr> priors;  ///< per node; anchors' priors are unused.
   Graph graph;                   ///< measured links (weights = noisy dists).
+  /// Ground-truth fault record (evaluation only; empty when no faults).
+  FaultLabels faults;
   std::uint64_t seed = 0;
 
   [[nodiscard]] std::size_t node_count() const noexcept {
@@ -59,7 +69,8 @@ struct Scenario {
   [[nodiscard]] std::size_t unknown_count() const noexcept {
     return node_count() - anchor_count();
   }
-  /// Position visible to algorithms: exact for anchors only.
+  /// Position visible to algorithms: the *reported* position, exact for
+  /// healthy anchors, drifted for fault-injected ones.
   [[nodiscard]] Vec2 anchor_position(std::size_t node) const;
   [[nodiscard]] std::vector<std::size_t> anchor_indices() const;
   [[nodiscard]] std::vector<std::size_t> unknown_indices() const;

@@ -1,0 +1,56 @@
+// Residual-based anchor vetting: which anchors are lying about where they
+// are?
+//
+// Uses only information an algorithm legitimately has — reported anchor
+// positions and measured ranges — never the ground truth. Two kinds of
+// evidence tie a pair of anchors (a, b) together:
+//
+//  * a direct measured link: the measurement d_ab must match the distance
+//    between the reported positions (two-sided residual);
+//  * a shared unknown neighbor m: the true distance ||a - b|| must lie in
+//    [|d_am - d_mb|, d_am + d_mb] (ring-intersection feasibility), so a
+//    reported distance outside that interval convicts the *pair*.
+//
+// Pair violations are attributed to individual anchors greedily: the anchor
+// participating in the most strongly-violated pairs is flagged first and its
+// pairs are retired, so a healthy anchor that merely ranged against a faulty
+// one is exonerated once the culprit is removed — the standard robust
+// "leave-one-out" argument, made O(anchors * pairs).
+//
+// Engines consume the report by demoting flagged anchors to wide-prior
+// unknowns; the evaluation layer scores flagged-vs-injected as a detection
+// problem (precision/recall, bench F13).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "deploy/scenario.hpp"
+
+namespace bnloc {
+
+struct AnchorVetConfig {
+  /// A pair is "violated" when its residual exceeds this many sigmas of the
+  /// combined ranging noise.
+  double violation_sigmas = 4.0;
+  /// Extra absolute slack on feasibility bounds, in ranging sigmas.
+  double slack_sigmas = 1.0;
+  /// An anchor is flagged only with at least this many violated pairs
+  /// (a single violated pair cannot tell which endpoint is the culprit).
+  std::size_t min_violations = 2;
+};
+
+struct AnchorVetReport {
+  /// Per node: 1 when a (reported) anchor was judged faulty.
+  std::vector<unsigned char> flagged;
+  /// Per node: number of violated anchor pairs attributed at flag time
+  /// (diagnostic; 0 for unflagged nodes).
+  std::vector<std::size_t> violations;
+
+  [[nodiscard]] std::size_t flagged_count() const noexcept;
+};
+
+[[nodiscard]] AnchorVetReport vet_anchors(const Scenario& scenario,
+                                          const AnchorVetConfig& config = {});
+
+}  // namespace bnloc

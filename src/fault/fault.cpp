@@ -1,0 +1,132 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "radio/ranging.hpp"
+#include "support/assert.hpp"
+
+namespace bnloc {
+
+std::size_t FaultLabels::outlier_link_count() const noexcept {
+  // Directed slots double-count each undirected link.
+  return static_cast<std::size_t>(std::count(link_outlier.begin(),
+                                             link_outlier.end(), 1)) /
+         2;
+}
+
+std::size_t FaultLabels::faulty_anchor_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(anchor_faulty.begin(), anchor_faulty.end(), 1));
+}
+
+std::size_t FaultLabels::crashed_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(death_round.begin(), death_round.end(),
+                    [](std::size_t r) { return r != kNeverCrashes; }));
+}
+
+std::vector<unsigned char> FaultInjector::contaminate_links(
+    std::vector<Edge>& edges, std::span<const Vec2> positions,
+    const RangingSpec& ranging, Rng& rng) const {
+  std::vector<unsigned char> outlier(edges.size(), 0);
+  if (spec_.outlier_fraction <= 0.0) return outlier;
+  BNLOC_ASSERT(spec_.outlier_fraction <= 1.0, "outlier fraction > 1");
+  const double scale = spec_.outlier_tail_scale * ranging.range;
+  BNLOC_ASSERT(scale > 0.0, "outlier tail scale must be positive");
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (!rng.bernoulli(spec_.outlier_fraction)) continue;
+    outlier[e] = 1;
+    // The direct path is blocked; the radio measures a longer bounce path:
+    // true distance plus an exponential excess (heavy right tail).
+    const double true_dist =
+        distance(positions[edges[e].u], positions[edges[e].v]);
+    edges[e].weight = true_dist + rng.exponential(1.0 / scale);
+  }
+  return outlier;
+}
+
+std::vector<unsigned char> FaultInjector::drift_anchors(
+    std::vector<Vec2>& reported, const std::vector<bool>& is_anchor,
+    const Aabb& field, Rng& rng) const {
+  std::vector<unsigned char> faulty(reported.size(), 0);
+  if (spec_.faulty_anchor_fraction <= 0.0) return faulty;
+  std::vector<std::size_t> anchors;
+  for (std::size_t i = 0; i < reported.size(); ++i)
+    if (is_anchor[i]) anchors.push_back(i);
+  const auto n_faulty = static_cast<std::size_t>(std::round(
+      spec_.faulty_anchor_fraction * static_cast<double>(anchors.size())));
+  if (n_faulty == 0) return faulty;
+  const auto picks =
+      rng.sample_indices(anchors.size(), std::min(n_faulty, anchors.size()));
+  const double drift = spec_.anchor_drift * field.width();
+  for (std::size_t p : picks) {
+    const std::size_t a = anchors[p];
+    faulty[a] = 1;
+    const double angle = rng.uniform(0.0, 6.283185307179586);
+    reported[a] = field.clamp(
+        reported[a] + Vec2{std::cos(angle), std::sin(angle)} * drift);
+  }
+  return faulty;
+}
+
+std::vector<std::size_t> FaultInjector::schedule_crashes(
+    std::size_t node_count, Rng& rng) const {
+  std::vector<std::size_t> death(node_count, kNeverCrashes);
+  if (spec_.crash_fraction <= 0.0) return death;
+  BNLOC_ASSERT(spec_.crash_round_min <= spec_.crash_round_max,
+               "crash round window inverted");
+  const std::size_t span = spec_.crash_round_max - spec_.crash_round_min + 1;
+  for (std::size_t i = 0; i < node_count; ++i)
+    if (rng.bernoulli(spec_.crash_fraction))
+      death[i] = spec_.crash_round_min + rng.uniform_index(span);
+  return death;
+}
+
+void finalize_fault_labels(FaultLabels& labels, const Graph& graph,
+                           std::span<const Edge> edges,
+                           std::span<const unsigned char> edge_outlier) {
+  const std::size_t n = graph.node_count();
+  labels.active = true;
+  if (labels.anchor_faulty.empty()) labels.anchor_faulty.assign(n, 0);
+  if (labels.death_round.empty())
+    labels.death_round.assign(n, kNeverCrashes);
+
+  // Per-directed-slot outlier flags, aligned with the CSR neighbor order.
+  std::unordered_set<std::uint64_t> bad;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (!edge_outlier[e]) continue;
+    const auto lo = static_cast<std::uint64_t>(
+        std::min(edges[e].u, edges[e].v));
+    const auto hi = static_cast<std::uint64_t>(
+        std::max(edges[e].u, edges[e].v));
+    bad.insert(lo * static_cast<std::uint64_t>(n) + hi);
+  }
+  labels.link_outlier.clear();
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const Neighbor& nb : graph.neighbors(u)) {
+      const auto lo = static_cast<std::uint64_t>(std::min(u, nb.node));
+      const auto hi = static_cast<std::uint64_t>(std::max(u, nb.node));
+      labels.link_outlier.push_back(
+          bad.count(lo * static_cast<std::uint64_t>(n) + hi) ? 1 : 0);
+    }
+  }
+
+  // Tainted = any fault within one hop: an unknown whose evidence or
+  // neighborhood was corrupted cannot be expected to score like a clean one.
+  labels.node_tainted.assign(n, 0);
+  std::size_t slot = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (labels.anchor_faulty[u] || labels.death_round[u] != kNeverCrashes)
+      labels.node_tainted[u] = 1;
+    for (const Neighbor& nb : graph.neighbors(u)) {
+      if (labels.link_outlier[slot++]) labels.node_tainted[u] = 1;
+      if (labels.anchor_faulty[nb.node] ||
+          labels.death_round[nb.node] != kNeverCrashes)
+        labels.node_tainted[u] = 1;
+    }
+  }
+}
+
+}  // namespace bnloc

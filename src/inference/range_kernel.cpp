@@ -25,9 +25,15 @@ RangeKernel RangeKernel::make_range(double measured,
       const double r = std::hypot(static_cast<double>(dx) * sx,
                                   static_cast<double>(dy) * sy);
       // Width of the acceptance band uses the hypothesis-side sigma, which
-      // for multiplicative noise grows with r.
+      // for multiplicative noise grows with r. Under an ε-contamination
+      // likelihood the NLOS tail puts mass on every hypothesis *below* the
+      // measurement (the direct path may be shorter than the bounce path),
+      // so only the outer truncation applies there.
       const double band = trunc_sigmas * std::max(sigma, ranging.sigma_at(r));
-      if (std::abs(r - measured) > band + 0.71 * std::max(sx, sy)) continue;
+      const bool inside_tail = ranging.outlier_epsilon > 0.0 && r < measured;
+      if (!inside_tail &&
+          std::abs(r - measured) > band + 0.71 * std::max(sx, sy))
+        continue;
       const double w = ranging.likelihood(measured, r);
       if (w <= 0.0) continue;
       k.offsets_.push_back({dx, dy, w});

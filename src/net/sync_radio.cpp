@@ -4,17 +4,35 @@
 
 namespace bnloc {
 
-SyncRadio::SyncRadio(const Graph& graph, double loss, Rng rng)
-    : graph_(&graph), loss_(loss), rng_(rng) {
+SyncRadio::SyncRadio(const Graph& graph, double loss, Rng rng,
+                     std::span<const std::size_t> death_rounds)
+    : graph_(&graph),
+      loss_(loss),
+      rng_(rng),
+      death_rounds_(death_rounds.begin(), death_rounds.end()) {
   BNLOC_ASSERT(loss >= 0.0 && loss < 1.0, "loss probability out of range");
-  offsets_.resize(graph.node_count() + 1, 0);
-  for (std::size_t v = 0; v < graph.node_count(); ++v)
+  BNLOC_ASSERT(death_rounds_.empty() ||
+                   death_rounds_.size() == graph.node_count(),
+               "death schedule size mismatch");
+  const std::size_t n = graph.node_count();
+  offsets_.resize(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
     offsets_[v + 1] = offsets_[v] + graph.degree(v);
   delivered_.assign(offsets_.back(), 1);
+  slot_of_.reserve(offsets_.back());
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto nbs = graph.neighbors(v);
+    for (std::size_t k = 0; k < nbs.size(); ++k)
+      slot_of_.emplace(static_cast<std::uint64_t>(nbs[k].node) *
+                               static_cast<std::uint64_t>(n) +
+                           static_cast<std::uint64_t>(v),
+                       offsets_[v] + k);
+  }
 }
 
 void SyncRadio::begin_round() {
   ++stats_.rounds;
+  ++round_;
   round_open_ = true;
   if (loss_ <= 0.0) return;  // flags stay all-delivered
   for (auto& flag : delivered_)
@@ -22,15 +40,21 @@ void SyncRadio::begin_round() {
 }
 
 std::size_t SyncRadio::link_slot(std::size_t from, std::size_t to) const {
-  const auto nbs = graph_->neighbors(to);
-  for (std::size_t k = 0; k < nbs.size(); ++k)
-    if (nbs[k].node == from) return offsets_[to] + k;
-  BNLOC_ASSERT(false, "delivered() queried for a non-link");
-  return 0;
+  const auto it = slot_of_.find(static_cast<std::uint64_t>(from) *
+                                    static_cast<std::uint64_t>(
+                                        graph_->node_count()) +
+                                static_cast<std::uint64_t>(to));
+  BNLOC_ASSERT(it != slot_of_.end(), "delivered() queried for a non-link");
+  return it->second;
+}
+
+bool SyncRadio::crashed(std::size_t node) const noexcept {
+  return !death_rounds_.empty() && round_ > death_rounds_[node];
 }
 
 void SyncRadio::record_broadcast(std::size_t node, std::size_t bytes) {
   BNLOC_ASSERT(round_open_, "broadcast outside a round");
+  if (crashed(node)) return;  // a dead node transmits nothing
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
   for (const Neighbor& nb : graph_->neighbors(node))
@@ -38,6 +62,7 @@ void SyncRadio::record_broadcast(std::size_t node, std::size_t bytes) {
 }
 
 bool SyncRadio::delivered(std::size_t from, std::size_t to) const {
+  if (crashed(from)) return false;
   if (loss_ <= 0.0) return true;
   return delivered_[link_slot(from, to)] != 0;
 }

@@ -1,4 +1,5 @@
-// Synchronous-round broadcast radio with Bernoulli packet loss.
+// Synchronous-round broadcast radio with Bernoulli packet loss and
+// fault-injected node crashes.
 //
 // Model: time advances in rounds. In a round every participating node
 // broadcasts one summary packet; each directed link (u -> v) independently
@@ -7,9 +8,15 @@
 // received. This is the textbook abstraction of a TDMA/gossip localization
 // protocol and is what lets F12 study loss robustness without a full MAC
 // simulation.
+//
+// Crash schedules (F13): a node with death round d transmits through round d
+// and delivers nothing afterwards — its neighbors simply stop hearing it,
+// exactly like a battery death. Dead nodes send no packets (no accounting).
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/adjacency.hpp"
@@ -21,23 +28,36 @@ namespace bnloc {
 class SyncRadio {
  public:
   /// `loss` is the independent per-reception drop probability in [0, 1).
-  SyncRadio(const Graph& graph, double loss, Rng rng);
+  /// `death_rounds` (optional, per node) is the fault-injected crash
+  /// schedule: node u delivers nothing once the round counter exceeds
+  /// death_rounds[u]. Empty means no crashes.
+  SyncRadio(const Graph& graph, double loss, Rng rng,
+            std::span<const std::size_t> death_rounds = {});
 
   /// Start a new round; re-draws the loss process for every directed link.
   void begin_round();
 
-  /// Record that `node` broadcast a payload of `bytes` this round.
+  /// Record that `node` broadcast a payload of `bytes` this round. A crashed
+  /// node transmits nothing: the call is ignored (no bytes, no messages).
   void record_broadcast(std::size_t node, std::size_t bytes);
 
   /// Did the broadcast of `from` reach `to` this round? Only meaningful for
-  /// neighbors; non-neighbors never hear each other.
+  /// neighbors; non-neighbors never hear each other. Stable within a round.
   [[nodiscard]] bool delivered(std::size_t from, std::size_t to) const;
+
+  /// Has `node` crashed as of the current round (i.e. its broadcasts are no
+  /// longer delivered)?
+  [[nodiscard]] bool crashed(std::size_t node) const noexcept;
+
+  /// Rounds elapsed (number of begin_round calls so far).
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
 
   [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
   [[nodiscard]] double loss() const noexcept { return loss_; }
 
  private:
-  /// Dense index of directed link (u, v) into delivered_.
+  /// Dense index of directed link (from, to) into delivered_; O(1) via the
+  /// reverse slot map built at construction.
   [[nodiscard]] std::size_t link_slot(std::size_t from, std::size_t to) const;
 
   const Graph* graph_;
@@ -47,7 +67,12 @@ class SyncRadio {
   // neighbor) pair in graph order.
   std::vector<std::size_t> offsets_;
   std::vector<unsigned char> delivered_;
+  // Reverse slot map: encoded directed pair (from * n + to) -> slot. Built
+  // once so delivered() is O(1) instead of an O(degree) neighbor scan.
+  std::unordered_map<std::uint64_t, std::size_t> slot_of_;
+  std::vector<std::size_t> death_rounds_;  ///< empty = nobody crashes.
   CommStats stats_;
+  std::size_t round_ = 0;
   bool round_open_ = false;
 };
 

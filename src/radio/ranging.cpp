@@ -23,25 +23,41 @@ double RangingSpec::measure(double true_dist, Rng& rng) const noexcept {
   return d;
 }
 
+RangingSpec RangingSpec::contaminated(double epsilon,
+                                      double tail_scale) const noexcept {
+  RangingSpec spec = *this;
+  spec.outlier_epsilon = epsilon;
+  spec.outlier_tail_scale = tail_scale;
+  return spec;
+}
+
 double RangingSpec::likelihood(double measured,
                                double hypothesis) const noexcept {
   const double d = std::max(hypothesis, kMinDistance);
   const double m = std::max(measured, kMinDistance);
+  double nominal = 0.0;
   switch (type) {
     case RangingType::gaussian: {
       const double sigma = noise_factor * range;
       const double z = (m - d) / sigma;
-      return kInvSqrt2Pi / sigma * std::exp(-0.5 * z * z);
+      nominal = kInvSqrt2Pi / sigma * std::exp(-0.5 * z * z);
+      break;
     }
     case RangingType::log_normal: {
       const double z = std::log(m / d) / noise_factor;
       // Density of the measurement m under true distance d. The 1/m factor
       // is constant in d, but keeping it makes the function a proper pdf in
       // m, which the tests verify by numeric integration.
-      return kInvSqrt2Pi / (noise_factor * m) * std::exp(-0.5 * z * z);
+      nominal = kInvSqrt2Pi / (noise_factor * m) * std::exp(-0.5 * z * z);
+      break;
     }
   }
-  return 0.0;
+  if (outlier_epsilon <= 0.0) return nominal;
+  // ε-contamination: NLOS tail = exponential excess path (m = d + Exp(s)),
+  // a proper pdf in m over [d, inf). Mixing keeps the total a pdf in m.
+  const double s = std::max(outlier_tail_scale * range, kMinDistance);
+  const double tail = m >= d ? std::exp(-(m - d) / s) / s : 0.0;
+  return (1.0 - outlier_epsilon) * nominal + outlier_epsilon * tail;
 }
 
 double RangingSpec::sigma_at(double measured) const noexcept {

@@ -26,6 +26,21 @@ struct RangingSpec {
   double noise_factor = 0.1;
   double range = 0.15;  ///< radio range; scales the gaussian sigma.
 
+  /// ε-contamination (robust likelihood for NLOS environments): with weight
+  /// `outlier_epsilon` the measurement is explained by a heavy one-sided
+  /// tail — an exponential excess path on top of the hypothesis distance —
+  /// instead of the nominal density. 0 (default) keeps the nominal
+  /// likelihood exactly. The tail matches the FaultInjector's NLOS model,
+  /// so simulation and robust inference stay consistent by construction.
+  double outlier_epsilon = 0.0;
+  /// Mean of the exponential excess path, as a fraction of `range`.
+  double outlier_tail_scale = 1.5;
+
+  /// Copy of this spec with the contamination mixture enabled (engine-side
+  /// robustness toggle).
+  [[nodiscard]] RangingSpec contaminated(double epsilon,
+                                         double tail_scale) const noexcept;
+
   /// Draw a noisy measurement of a true distance (always > 0).
   [[nodiscard]] double measure(double true_dist, Rng& rng) const noexcept;
 

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
+
+#include "fault/fault.hpp"  // kNeverCrashes
 
 namespace bnloc {
 namespace {
@@ -98,6 +101,93 @@ TEST(SyncRadio, ReceivedCountsOnlyDeliveries) {
     for (const Neighbor& nb : g.neighbors(0))
       if (radio.delivered(0, nb.node)) ++manual;
     radio.record_broadcast(0, 1);
+  }
+  EXPECT_EQ(radio.stats().messages_received, manual);
+}
+
+TEST(SyncRadio, DeliveredIsStableWithinARound) {
+  const Graph g = triangle();
+  SyncRadio radio(g, 0.5, Rng(13));
+  for (int round = 0; round < 100; ++round) {
+    radio.begin_round();
+    for (std::size_t u = 0; u < 3; ++u)
+      for (const Neighbor& nb : g.neighbors(u)) {
+        const bool first = radio.delivered(u, nb.node);
+        EXPECT_EQ(radio.delivered(u, nb.node), first);
+      }
+  }
+}
+
+TEST(SyncRadio, DeliveredIsQueryOrderIndependent) {
+  // The O(1) slot map is a pure lookup: querying links in different orders
+  // on same-seeded radios must give the same per-link answers.
+  const std::vector<Edge> edges = {
+      {0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}, {2, 3, 1.0}, {1, 3, 1.0}};
+  const Graph g(4, edges);
+  SyncRadio fwd(g, 0.4, Rng(3));
+  SyncRadio rev(g, 0.4, Rng(3));
+  for (int round = 0; round < 50; ++round) {
+    fwd.begin_round();
+    rev.begin_round();
+    std::vector<int> a, b;
+    for (std::size_t u = 0; u < 4; ++u)
+      for (const Neighbor& nb : g.neighbors(u))
+        a.push_back(fwd.delivered(u, nb.node));
+    for (std::size_t u = 4; u-- > 0;) {
+      const auto nbs = g.neighbors(u);
+      for (std::size_t k = nbs.size(); k-- > 0;)
+        b.push_back(rev.delivered(u, nbs[k].node));
+    }
+    std::reverse(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(SyncRadio, CrashedNodeDeliversNothingAfterDeathRound) {
+  const Graph g = triangle();
+  const std::vector<std::size_t> deaths = {2, kNeverCrashes, kNeverCrashes};
+  SyncRadio radio(g, 0.0, Rng(1), deaths);
+  for (int round = 1; round <= 6; ++round) {
+    radio.begin_round();
+    const bool alive = round <= 2;
+    EXPECT_EQ(radio.crashed(0), !alive);
+    EXPECT_EQ(radio.delivered(0, 1), alive);
+    EXPECT_EQ(radio.delivered(0, 2), alive);
+    // Survivors keep talking to each other (and even to the dead node's
+    // radio slot: receiving is an engine-side concern).
+    EXPECT_TRUE(radio.delivered(1, 2));
+    EXPECT_TRUE(radio.delivered(1, 0));
+  }
+}
+
+TEST(SyncRadio, CrashedNodeSendsNothing) {
+  const Graph g = triangle();
+  const std::vector<std::size_t> deaths = {1, kNeverCrashes, kNeverCrashes};
+  SyncRadio radio(g, 0.0, Rng(1), deaths);
+  radio.begin_round();  // round 1: node 0 still alive
+  radio.record_broadcast(0, 10);
+  radio.begin_round();  // round 2: node 0 is dead
+  radio.record_broadcast(0, 10);
+  radio.record_broadcast(1, 10);
+  const CommStats& st = radio.stats();
+  EXPECT_EQ(st.messages_sent, 2u);  // the dead broadcast was dropped
+  EXPECT_EQ(st.bytes_sent, 20u);
+  EXPECT_EQ(st.messages_received, 4u);
+}
+
+TEST(SyncRadio, ReceivedAccountingMatchesDeliveredUnderLossAndCrashes) {
+  const Graph g = triangle();
+  const std::vector<std::size_t> deaths = {4, 8, kNeverCrashes};
+  SyncRadio radio(g, 0.5, Rng(21), deaths);
+  std::size_t manual = 0;
+  for (int round = 0; round < 200; ++round) {
+    radio.begin_round();
+    for (std::size_t u = 0; u < 3; ++u) {
+      if (radio.crashed(u)) continue;
+      for (const Neighbor& nb : g.neighbors(u))
+        if (radio.delivered(u, nb.node)) ++manual;
+      radio.record_broadcast(u, 1);
+    }
   }
   EXPECT_EQ(radio.stats().messages_received, manual);
 }
