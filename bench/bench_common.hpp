@@ -2,9 +2,12 @@
 // table/figure; see DESIGN.md section 3).
 //
 // Every bench runs argument-free. Sizing comes from the environment:
-//   BNLOC_TRIALS  Monte-Carlo repetitions per configuration (default 12)
-//   BNLOC_NODES   default network size (default 200)
-//   BNLOC_FAST=1  CI-sized run (3 trials, 100 nodes)
+//   BNLOC_TRIALS   Monte-Carlo repetitions per configuration (default 8)
+//   BNLOC_NODES    default network size (default 200)
+//   BNLOC_THREADS  harness worker threads (default 1 = serial; 0 = all
+//                  cores). Any value reproduces identical tables — only the
+//                  wall ms/trial column moves.
+//   BNLOC_FAST=1   CI-sized run (3 trials, 100 nodes)
 #pragma once
 
 #include <cstdio>
@@ -38,20 +41,23 @@ inline void print_banner(const char* id, const char* title,
                          const BenchConfig& bc, const ScenarioConfig& cfg) {
   std::printf("=== %s: %s ===\n", id, title);
   std::printf("config: %zu nodes, %.0f%% anchors, R=%.2f, noise=%.0f%% "
-              "(%s), deployment=%s, priors=%s, trials=%zu\n\n",
+              "(%s), deployment=%s, priors=%s, trials=%zu, threads=%zu\n\n",
               cfg.node_count, cfg.anchor_fraction * 100.0, cfg.radio.range,
               cfg.radio.ranging.noise_factor * 100.0,
               cfg.radio.ranging.type == RangingType::log_normal
                   ? "log-normal"
                   : "gaussian",
               to_string(cfg.deployment.kind),
-              to_string(cfg.prior_quality), bc.trials);
+              to_string(cfg.prior_quality), bc.trials, bc.threads);
 }
 
-/// Standard columns for a comparison table.
+/// Standard columns for a comparison table. `ms` is mean in-algorithm time
+/// per trial; `wall ms/tr` is harness wall-clock divided by trials — the
+/// column that shrinks under BNLOC_THREADS (the two coincide at threads=1).
 inline AsciiTable make_result_table() {
   return AsciiTable({"algorithm", "mean/R", "median/R", "rmse/R", "q90/R",
-                     "coverage", "msgs/node", "kB/node", "iters", "ms"});
+                     "coverage", "msgs/node", "kB/node", "iters", "ms",
+                     "wall ms/tr"});
 }
 
 inline void add_result_row(AsciiTable& table, const AggregateRow& row) {
@@ -63,7 +69,8 @@ inline void add_result_row(AsciiTable& table, const AggregateRow& row) {
                  AsciiTable::fmt(row.msgs_per_node, 1),
                  AsciiTable::fmt(row.bytes_per_node / 1024.0, 2),
                  AsciiTable::fmt(row.iterations, 1),
-                 AsciiTable::fmt(row.seconds * 1e3, 1)});
+                 AsciiTable::fmt(row.seconds * 1e3, 1),
+                 AsciiTable::fmt(per_item_ms(row.wall_seconds, row.trials), 1)});
 }
 
 /// The lightweight algorithm set used inside parameter sweeps (the grid

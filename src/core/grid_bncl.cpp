@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "fault/anchor_vetting.hpp"
 #include "inference/grid_belief.hpp"
 #include "inference/range_kernel.hpp"
 #include "net/sync_radio.hpp"
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace bnloc {
@@ -139,6 +141,20 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
                                       0);
 
   std::vector<double> msg(side * side);
+  // Per-node parallelism pilot: the Jacobi update phase is independent
+  // across nodes within a round (each node reads the round-start published
+  // summaries and writes only its own staged belief and last_heard slots),
+  // so it splits across a pool. Gauss-Seidel is order-dependent and keeps
+  // the serial path regardless of config_.threads.
+  const bool parallel_update = config_.threads != 1 &&
+                               config_.schedule == UpdateSchedule::jacobi &&
+                               n > 1;
+  std::optional<ThreadPool> pool;
+  if (parallel_update) pool.emplace(config_.threads);
+  // Per-node TV change, folded in node order after the sweep so the
+  // convergence trace is bit-identical at any thread count; negative means
+  // the node did not update this round (anchor or crashed).
+  std::vector<double> node_change(n, -1.0);
   const auto emit_estimates = [&](std::vector<GridBelief>& beliefs) {
     for (std::size_t i = 0; i < n; ++i) {
       if (scenario.is_anchor[i]) continue;
@@ -188,11 +204,9 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
     // immediately so later nodes in the round already see it.
     const bool gauss_seidel =
         config_.schedule == UpdateSchedule::gauss_seidel;
-    double sum_change = 0.0;
-    std::size_t changed_nodes = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (acts_anchor[i]) continue;
-      if (radio.crashed(i)) continue;  // dead nodes stop computing too
+    const auto update_node = [&](std::size_t i, std::vector<double>& scratch) {
+      if (acts_anchor[i]) return;
+      if (radio.crashed(i)) return;  // dead nodes stop computing too
       GridBelief& next = staged[i];
       next = prior_grid[i];
       const auto nbs = scenario.graph.neighbors(i);
@@ -209,12 +223,12 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         }
         const SparseBelief& src = fresh ? cur_pub[j] : prev_pub[j];
         if (src.empty()) continue;
-        std::fill(msg.begin(), msg.end(), 0.0);
-        kernels[kernel_offset[i] + k].accumulate(src, msg, side);
-        const double peak = *std::max_element(msg.begin(), msg.end());
+        std::fill(scratch.begin(), scratch.end(), 0.0);
+        kernels[kernel_offset[i] + k].accumulate(src, scratch, side);
+        const double peak = *std::max_element(scratch.begin(), scratch.end());
         if (peak <= 0.0) continue;
-        for (double& v : msg) v /= peak;
-        next.multiply(msg, config_.message_floor);
+        for (double& v : scratch) v /= peak;
+        next.multiply(scratch, config_.message_floor);
       }
       if (config_.use_negative_evidence) {
         for (std::size_t far : nonlinks[i]) {
@@ -224,17 +238,16 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           const SparseBelief& src = cur_pub[far];
           // Negative evidence only pays off against a concentrated belief.
           if (src.empty() || src.covered_fraction < 0.9) continue;
-          std::fill(msg.begin(), msg.end(), 0.0);
-          conn_kernel.accumulate(src, msg, side);
+          std::fill(scratch.begin(), scratch.end(), 0.0);
+          conn_kernel.accumulate(src, scratch, side);
           // m(x) = 1 - P(link | x): cap at 1 (kernel overlap can exceed it
           // slightly on coarse grids).
-          for (double& v : msg) v = std::max(0.0, 1.0 - std::min(v, 1.0));
-          next.multiply(msg, config_.message_floor);
+          for (double& v : scratch) v = std::max(0.0, 1.0 - std::min(v, 1.0));
+          next.multiply(scratch, config_.message_floor);
         }
       }
       next.mix_with(belief[i], config_.damping);
-      sum_change += next.total_variation(belief[i]);
-      ++changed_nodes;
+      node_change[i] = next.total_variation(belief[i]);
       if (gauss_seidel) {
         belief[i] = next;
         // Refresh the visible summary in place (a centralized sweep has no
@@ -246,6 +259,24 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           ever_published[i] = 1;
         }
       }
+    };
+
+    std::fill(node_change.begin(), node_change.end(), -1.0);
+    if (pool && !gauss_seidel) {
+      parallel_for_chunks(*pool, n, [&](std::size_t begin, std::size_t end) {
+        std::vector<double> scratch(side * side);
+        for (std::size_t i = begin; i < end; ++i) update_node(i, scratch);
+      });
+    } else {
+      for (std::size_t i = 0; i < n; ++i) update_node(i, msg);
+    }
+
+    double sum_change = 0.0;
+    std::size_t changed_nodes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (node_change[i] < 0.0) continue;
+      sum_change += node_change[i];
+      ++changed_nodes;
     }
     if (!gauss_seidel)
       for (std::size_t i = 0; i < n; ++i)

@@ -83,6 +83,16 @@ struct GridBnclConfig {
   /// instead of freezing it. 0 disables (the non-robust behavior).
   std::size_t stale_ttl = 0;
 
+  /// Worker threads for the per-node belief update within a round (the
+  /// per-node parallelism pilot, F14 part B). Jacobi only: nodes are
+  /// independent within a round — each reads the round-start summaries and
+  /// writes only its own staged belief — so any thread count yields
+  /// bit-identical beliefs; the Gauss-Seidel schedule is order-dependent by
+  /// definition and always runs serially. 1 (default) keeps the engine
+  /// single-threaded so trial-level parallelism above it never
+  /// oversubscribes; 0 selects hardware concurrency.
+  std::size_t threads = 1;
+
   /// Optional per-iteration hook (estimates indexed by node; anchors too).
   std::function<void(std::size_t iteration,
                      std::span<const std::optional<Vec2>> estimates)>

@@ -1,5 +1,11 @@
 #include "eval/experiment.hpp"
 
+#include <utility>
+
+#include "support/config.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
 #include "baselines/amorphous.hpp"
 #include "baselines/apit.hpp"
 #include "baselines/centroid.hpp"
@@ -23,56 +29,115 @@ Rng make_algo_rng(const std::string& algo_name, std::uint64_t seed) {
   return Rng(splitmix64(state));
 }
 
+RunOptions RunOptions::from_env() noexcept {
+  RunOptions options;
+  options.threads = env_size_t("BNLOC_THREADS", options.threads);
+  return options;
+}
+
+namespace {
+
+/// Everything one trial contributes to the aggregate, captured per trial so
+/// trials can run on worker threads and be folded in trial order afterwards
+/// (the fold order, not the execution order, is what the serial-equality
+/// contract fixes).
+struct TrialOutcome {
+  std::vector<double> errors;
+  double trial_mean = 0.0;
+  bool has_errors = false;
+  double coverage = 0.0;
+  double penalized = 0.0;
+  double msgs = 0.0;
+  double bytes = 0.0;
+  double iterations = 0.0;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
 AggregateRow run_algorithm(const Localizer& algo, const ScenarioConfig& base,
-                           std::size_t trials) {
+                           std::size_t trials, const RunOptions& options) {
   AggregateRow row;
   row.algo = algo.name();
   row.trials = trials;
-  std::vector<double> pooled_errors;
-  std::vector<double> trial_means;
-  RunningStats coverage, msgs, bytes, iters, secs, penalized;
+  const Stopwatch wall;
 
-  for (std::size_t t = 0; t < trials; ++t) {
+  std::vector<TrialOutcome> outcomes(trials);
+  const auto run_trial = [&](std::size_t t) {
     ScenarioConfig cfg = base;
     cfg.seed = base.seed + t;
     const Scenario scenario = build_scenario(cfg);
     Rng rng = make_algo_rng(row.algo, cfg.seed);
     const LocalizationResult result = algo.localize(scenario, rng);
-    const ErrorReport report = evaluate(scenario, result);
-    pooled_errors.insert(pooled_errors.end(), report.errors.begin(),
-                         report.errors.end());
-    if (!report.errors.empty())
-      trial_means.push_back(report.summary.mean);
-    coverage.add(report.coverage);
-    penalized.add(report.penalized_mean);
+    ErrorReport report = evaluate(scenario, result);
+    TrialOutcome& out = outcomes[t];
+    out.errors = std::move(report.errors);
+    out.has_errors = !out.errors.empty();
+    out.trial_mean = report.summary.mean;
+    out.coverage = report.coverage;
+    out.penalized = report.penalized_mean;
     const std::size_t n = scenario.node_count();
-    msgs.add(result.comm.messages_per_node(n));
-    bytes.add(result.comm.bytes_per_node(n));
-    iters.add(static_cast<double>(result.iterations));
-    secs.add(result.seconds);
+    out.msgs = result.comm.messages_per_node(n);
+    out.bytes = result.comm.bytes_per_node(n);
+    out.iterations = static_cast<double>(result.iterations);
+    out.seconds = result.seconds;
+  };
+
+  if (options.threads != 1 && trials > 1) {
+    ThreadPool pool(options.threads);
+    parallel_for_index(pool, trials, run_trial);
+  } else {
+    for (std::size_t t = 0; t < trials; ++t) run_trial(t);
+  }
+
+  // Fold in trial order: identical accumulation sequence to the serial loop
+  // no matter which worker ran which trial.
+  std::vector<double> pooled_errors;
+  RunningStats coverage, msgs, bytes, iters, secs, penalized, trial_mean;
+  for (TrialOutcome& out : outcomes) {
+    pooled_errors.insert(pooled_errors.end(), out.errors.begin(),
+                         out.errors.end());
+    if (out.has_errors) trial_mean.add(out.trial_mean);
+    coverage.add(out.coverage);
+    penalized.add(out.penalized);
+    msgs.add(out.msgs);
+    bytes.add(out.bytes);
+    iters.add(out.iterations);
+    secs.add(out.seconds);
   }
 
   row.error = summarize(pooled_errors);
-  RunningStats tm;
-  for (double m : trial_means) tm.add(m);
-  row.trial_mean_sem = tm.sem();
+  row.trial_mean_sem = trial_mean.sem();
   row.penalized_mean = penalized.mean();
   row.coverage = coverage.mean();
   row.msgs_per_node = msgs.mean();
   row.bytes_per_node = bytes.mean();
   row.iterations = iters.mean();
   row.seconds = secs.mean();
+  row.wall_seconds = wall.seconds();
   return row;
+}
+
+AggregateRow run_algorithm(const Localizer& algo, const ScenarioConfig& base,
+                           std::size_t trials) {
+  return run_algorithm(algo, base, trials, RunOptions::from_env());
+}
+
+std::vector<AggregateRow> run_suite(
+    std::span<const std::unique_ptr<Localizer>> algos,
+    const ScenarioConfig& base, std::size_t trials,
+    const RunOptions& options) {
+  std::vector<AggregateRow> rows;
+  rows.reserve(algos.size());
+  for (const auto& algo : algos)
+    rows.push_back(run_algorithm(*algo, base, trials, options));
+  return rows;
 }
 
 std::vector<AggregateRow> run_suite(
     std::span<const std::unique_ptr<Localizer>> algos,
     const ScenarioConfig& base, std::size_t trials) {
-  std::vector<AggregateRow> rows;
-  rows.reserve(algos.size());
-  for (const auto& algo : algos)
-    rows.push_back(run_algorithm(*algo, base, trials));
-  return rows;
+  return run_suite(algos, base, trials, RunOptions::from_env());
 }
 
 std::vector<std::unique_ptr<Localizer>> default_suite() {

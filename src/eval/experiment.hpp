@@ -23,18 +23,58 @@ struct AggregateRow {
   double msgs_per_node = 0.0;
   double bytes_per_node = 0.0;
   double iterations = 0.0;
-  double seconds = 0.0;         ///< mean wall time per trial.
+  double seconds = 0.0;         ///< mean in-algorithm wall time per trial.
+  /// Harness wall-clock for the whole trial batch. Unlike `seconds` (which
+  /// sums per-trial solver time and is thread-count-invariant up to OS
+  /// scheduling noise), this shrinks with RunOptions::threads — it is the
+  /// speedup-visible column of every bench table (wall ms/trial).
+  double wall_seconds = 0.0;
   std::size_t trials = 0;
+};
+
+/// Execution options for the Monte-Carlo harness. Deliberately NOT part of
+/// the scenario or algorithm configuration: any thread count produces
+/// bit-identical aggregates (see DESIGN.md "Threading model"), so these
+/// knobs affect wall-clock only.
+struct RunOptions {
+  /// Worker threads for trial-level parallelism. 1 (default) runs trials
+  /// serially on the calling thread — the seed behavior of every earlier
+  /// release; 0 selects hardware concurrency.
+  std::size_t threads = 1;
+
+  /// Reads the BNLOC_THREADS environment override (default 1).
+  [[nodiscard]] static RunOptions from_env() noexcept;
 };
 
 /// Run `algo` on `trials` scenarios derived from `base` (seed = base.seed +
 /// t) and aggregate. The per-trial algorithm RNG is derived from the trial
 /// seed and the algorithm name so different algorithms never share streams.
+/// Fault injection rides along: `base.faults` (see fault/fault.hpp) is
+/// applied inside build_scenario per trial, deterministically in
+/// (trial seed, fault seed); an empty spec is a no-op.
+///
+/// Trials are embarrassingly parallel: with `options.threads > 1` they fan
+/// out across a ThreadPool and per-trial results are folded in trial order
+/// after the join, so every aggregate (including pooled_errors ordering) is
+/// bit-identical to the serial run regardless of thread count.
+[[nodiscard]] AggregateRow run_algorithm(const Localizer& algo,
+                                         const ScenarioConfig& base,
+                                         std::size_t trials,
+                                         const RunOptions& options);
+
+/// Same, with options taken from the environment (BNLOC_THREADS; default
+/// serial) — what the bench binaries call, so any table reproduces
+/// identically but faster under `BNLOC_THREADS=N`.
 [[nodiscard]] AggregateRow run_algorithm(const Localizer& algo,
                                          const ScenarioConfig& base,
                                          std::size_t trials);
 
 /// Convenience: run a whole suite on the same configuration.
+[[nodiscard]] std::vector<AggregateRow> run_suite(
+    std::span<const std::unique_ptr<Localizer>> algos,
+    const ScenarioConfig& base, std::size_t trials,
+    const RunOptions& options);
+
 [[nodiscard]] std::vector<AggregateRow> run_suite(
     std::span<const std::unique_ptr<Localizer>> algos,
     const ScenarioConfig& base, std::size_t trials);

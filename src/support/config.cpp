@@ -41,6 +41,7 @@ BenchConfig BenchConfig::from_env() noexcept {
   }
   cfg.trials = env_size_t("BNLOC_TRIALS", cfg.trials);
   cfg.nodes = env_size_t("BNLOC_NODES", cfg.nodes);
+  cfg.threads = env_size_t("BNLOC_THREADS", cfg.threads);
   return cfg;
 }
 

@@ -2,7 +2,7 @@
 //
 // All bench targets run argument-free (the harness iterates build/bench/*),
 // so sizing knobs come from the environment: BNLOC_TRIALS, BNLOC_NODES,
-// BNLOC_FAST. See DESIGN.md section 5.
+// BNLOC_THREADS, BNLOC_FAST. See DESIGN.md section 5.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +23,10 @@ struct BenchConfig {
                              ///< (pooled per-node errors give ~1.5k samples
                              ///< per table cell at the 200-node default).
   std::size_t nodes = 200;   ///< default network size.
+  /// Harness worker threads for trial-level parallelism (BNLOC_THREADS).
+  /// 1 = serial (the default: seed behavior is unchanged unless opted in);
+  /// 0 = hardware concurrency. Aggregates are bit-identical at any value.
+  std::size_t threads = 1;
   bool fast = false;         ///< BNLOC_FAST=1 shrinks everything for CI.
 
   static BenchConfig from_env() noexcept;

@@ -61,4 +61,23 @@ void parallel_for_index(ThreadPool& pool, std::size_t count,
   pool.wait_idle();
 }
 
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  // Over-decompose 4x relative to the worker count so uneven per-index cost
+  // (e.g. node degree) still load-balances, while keeping chunks large
+  // enough that one scratch buffer per chunk amortizes.
+  const std::size_t chunks = std::min(count, pool.size() * 4);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    pool.submit([begin, end, &body] { body(begin, end); });
+    begin = end;
+  }
+  pool.wait_idle();
+}
+
 }  // namespace bnloc

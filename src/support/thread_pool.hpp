@@ -1,9 +1,14 @@
 // Minimal fixed-size thread pool for Monte-Carlo fan-out.
 //
-// The evaluation harness runs independent trials; parallel_for_index splits
-// them across worker threads. Determinism is preserved because every trial
-// derives its own Rng substream from (base seed, trial index), never from
-// shared generator state.
+// Two consumers (see DESIGN.md "Threading model"):
+//  * eval/run_algorithm fans Monte-Carlo trials across workers via
+//    parallel_for_index when RunOptions::threads > 1. Determinism is
+//    preserved because every trial derives its own Rng substream from
+//    (base seed, trial index), never from shared generator state, and the
+//    harness folds per-trial results in trial order after the join.
+//  * core/GridBncl splits its per-round Jacobi belief update across
+//    workers via parallel_for_chunks when GridBnclConfig::threads > 1
+//    (nodes are independent within a round by construction).
 #pragma once
 
 #include <condition_variable>
@@ -47,5 +52,12 @@ class ThreadPool {
 /// Run body(i) for i in [0, count) across the pool; blocks until done.
 void parallel_for_index(ThreadPool& pool, std::size_t count,
                         const std::function<void(std::size_t)>& body);
+
+/// Run body(begin, end) over a contiguous partition of [0, count); blocks
+/// until done. Chunking lets the body reuse one scratch buffer per chunk
+/// instead of allocating per index (the grid engine's message buffer).
+/// The partition depends only on count and pool.size(), never on timing.
+void parallel_for_chunks(ThreadPool& pool, std::size_t count,
+                         const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace bnloc

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 
 namespace bnloc {
 
@@ -22,5 +23,12 @@ class Stopwatch {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+/// Milliseconds per item for wall-clock-per-trial columns; 0 when there are
+/// no items.
+[[nodiscard]] constexpr double per_item_ms(double total_seconds,
+                                           std::size_t items) noexcept {
+  return items ? total_seconds * 1e3 / static_cast<double>(items) : 0.0;
+}
 
 }  // namespace bnloc

@@ -230,6 +230,61 @@ TEST(GridBncl, FinerGridIsMoreAccurate) {
   EXPECT_LT(e_fine, e_coarse);
 }
 
+TEST(GridBncl, NodeParallelUpdateIsBitIdentical) {
+  // The per-node parallelism pilot: the Jacobi update is independent across
+  // nodes within a round, so any thread count must reproduce the serial
+  // beliefs exactly — estimates, covariances, and the convergence trace.
+  const Scenario s = build_scenario(default_config(51));
+  for (std::size_t threads : {2u, 3u}) {
+    GridBnclConfig serial_cfg, par_cfg;
+    par_cfg.threads = threads;
+    Rng r1(7), r2(7);
+    const auto a = GridBncl(serial_cfg).localize(s, r1);
+    const auto b = GridBncl(par_cfg).localize(s, r2);
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+      ASSERT_EQ(a.estimates[i].has_value(), b.estimates[i].has_value());
+      if (a.estimates[i]) {
+        EXPECT_EQ(a.estimates[i]->x, b.estimates[i]->x);
+        EXPECT_EQ(a.estimates[i]->y, b.estimates[i]->y);
+      }
+      ASSERT_EQ(a.covariances[i].has_value(), b.covariances[i].has_value());
+      if (a.covariances[i]) {
+        EXPECT_EQ(a.covariances[i]->xx, b.covariances[i]->xx);
+        EXPECT_EQ(a.covariances[i]->xy, b.covariances[i]->xy);
+        EXPECT_EQ(a.covariances[i]->yy, b.covariances[i]->yy);
+      }
+    }
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.change_per_iteration, b.change_per_iteration);
+  }
+}
+
+TEST(GridBncl, NodeParallelUpdateSurvivesFaultsAndTtl) {
+  // Crashed neighbors + stale-belief TTL exercise the last_heard bookkeeping
+  // inside the parallel region.
+  ScenarioConfig scfg = default_config(52);
+  scfg.faults.crash_fraction = 0.15;
+  scfg.faults.outlier_fraction = 0.1;
+  const Scenario s = build_scenario(scfg);
+  GridBnclConfig serial_cfg, par_cfg;
+  serial_cfg.stale_ttl = 3;
+  par_cfg.stale_ttl = 3;
+  par_cfg.threads = 4;
+  Rng r1(9), r2(9);
+  const auto a = GridBncl(serial_cfg).localize(s, r1);
+  const auto b = GridBncl(par_cfg).localize(s, r2);
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+    ASSERT_EQ(a.estimates[i].has_value(), b.estimates[i].has_value());
+    if (a.estimates[i]) {
+      EXPECT_EQ(a.estimates[i]->x, b.estimates[i]->x);
+      EXPECT_EQ(a.estimates[i]->y, b.estimates[i]->y);
+    }
+  }
+  EXPECT_EQ(a.change_per_iteration, b.change_per_iteration);
+}
+
 TEST(GridBncl, BayesianCalibrationIsNonTrivial) {
   const Scenario s = build_scenario(default_config(36));
   const GridBncl engine;

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "baselines/centroid.hpp"
+#include "core/grid_bncl.hpp"
 #include "support/config.hpp"
 
 namespace bnloc {
@@ -78,14 +79,80 @@ TEST(Experiment, RunSuiteReturnsOneRowPerAlgorithm) {
   EXPECT_EQ(rows[1].algo, "w-centroid");
 }
 
+// Exact equality of every thread-count-invariant aggregate field (all but
+// the wall-clock ones; those legitimately vary run to run).
+void expect_identical_rows(const AggregateRow& a, const AggregateRow& b) {
+  EXPECT_EQ(a.algo, b.algo);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.error.count, b.error.count);
+  EXPECT_EQ(a.error.mean, b.error.mean);
+  EXPECT_EQ(a.error.stddev, b.error.stddev);
+  EXPECT_EQ(a.error.min, b.error.min);
+  EXPECT_EQ(a.error.q25, b.error.q25);
+  EXPECT_EQ(a.error.median, b.error.median);
+  EXPECT_EQ(a.error.q75, b.error.q75);
+  EXPECT_EQ(a.error.q90, b.error.q90);
+  EXPECT_EQ(a.error.max, b.error.max);
+  EXPECT_EQ(a.error.rmse, b.error.rmse);
+  EXPECT_EQ(a.trial_mean_sem, b.trial_mean_sem);
+  EXPECT_EQ(a.penalized_mean, b.penalized_mean);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.msgs_per_node, b.msgs_per_node);
+  EXPECT_EQ(a.bytes_per_node, b.bytes_per_node);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Experiment, ParallelTrialsBitIdenticalToSerial) {
+  const CentroidLocalizer algo;
+  const AggregateRow serial =
+      run_algorithm(algo, small_config(), 6, RunOptions{1});
+  const AggregateRow threaded =
+      run_algorithm(algo, small_config(), 6, RunOptions{4});
+  expect_identical_rows(serial, threaded);
+}
+
+TEST(Experiment, ParallelTrialsWithFaultSpecBitIdentical) {
+  GridBnclConfig gc;
+  gc.grid_side = 16;
+  gc.max_iterations = 6;
+  const GridBncl algo(gc);
+  ScenarioConfig cfg = small_config();
+  cfg.node_count = 40;
+  cfg.faults.outlier_fraction = 0.2;
+  cfg.faults.faulty_anchor_fraction = 0.2;
+  cfg.faults.crash_fraction = 0.1;
+  const AggregateRow serial = run_algorithm(algo, cfg, 4, RunOptions{1});
+  const AggregateRow threaded = run_algorithm(algo, cfg, 4, RunOptions{4});
+  expect_identical_rows(serial, threaded);
+}
+
+TEST(Experiment, RunSuiteHonorsRunOptions) {
+  std::vector<std::unique_ptr<Localizer>> algos;
+  algos.push_back(std::make_unique<CentroidLocalizer>());
+  const auto serial = run_suite(algos, small_config(), 3, RunOptions{1});
+  const auto threaded = run_suite(algos, small_config(), 3, RunOptions{3});
+  ASSERT_EQ(serial.size(), threaded.size());
+  expect_identical_rows(serial[0], threaded[0]);
+}
+
+TEST(RunOptions, FromEnvReadsThreads) {
+  ::setenv("BNLOC_THREADS", "3", 1);
+  EXPECT_EQ(RunOptions::from_env().threads, 3u);
+  ::unsetenv("BNLOC_THREADS");
+  EXPECT_EQ(RunOptions::from_env().threads, 1u);
+}
+
 TEST(BenchConfig, EnvOverrides) {
   ::setenv("BNLOC_TRIALS", "5", 1);
   ::setenv("BNLOC_NODES", "77", 1);
+  ::setenv("BNLOC_THREADS", "2", 1);
   const BenchConfig cfg = BenchConfig::from_env();
   EXPECT_EQ(cfg.trials, 5u);
   EXPECT_EQ(cfg.nodes, 77u);
+  EXPECT_EQ(cfg.threads, 2u);
   ::unsetenv("BNLOC_TRIALS");
   ::unsetenv("BNLOC_NODES");
+  ::unsetenv("BNLOC_THREADS");
 }
 
 TEST(BenchConfig, FastModeShrinksDefaults) {

@@ -54,6 +54,37 @@ TEST(ThreadPool, ParallelForProducesSameResultAsSerial) {
   EXPECT_DOUBLE_EQ(sum, 0.5 * (999.0 * 1000.0 / 2.0));
 }
 
+TEST(ThreadPool, ParallelForChunksCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1003);
+  parallel_for_chunks(pool, hits.size(),
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                          hits[i].fetch_add(1);
+                      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksHandlesFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for_chunks(pool, hits.size(),
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                          hits[i].fetch_add(1);
+                      });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksZeroCountIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for_chunks(pool, 0, [&](std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
 TEST(ThreadPool, ReusableAcrossBatches) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
