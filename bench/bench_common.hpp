@@ -8,6 +8,9 @@
 //                  cores). Any value reproduces identical tables — only the
 //                  wall ms/trial column moves.
 //   BNLOC_FAST=1   CI-sized run (3 trials, 100 nodes)
+//   BNLOC_BENCH_JSON=<path>  append one machine-readable JSON line per
+//                  bench run (aggregate rows + sizing) — the seed data for
+//                  the repo's BENCH_*.json perf trajectory.
 #pragma once
 
 #include <cstdio>
@@ -86,6 +89,67 @@ inline std::vector<std::unique_ptr<Localizer>> sweep_suite() {
   suite.push_back(std::make_unique<CentroidLocalizer>());
   return suite;
 }
+
+/// Exact equality of every aggregate that must not depend on the thread
+/// count or on telemetry being attached — everything except the two
+/// wall-clock fields (seconds, wall_seconds).
+inline bool same_summaries(const AggregateRow& a, const AggregateRow& b) {
+  return a.algo == b.algo && a.trials == b.trials &&
+         a.error.count == b.error.count && a.error.mean == b.error.mean &&
+         a.error.stddev == b.error.stddev &&
+         a.error.median == b.error.median && a.error.q25 == b.error.q25 &&
+         a.error.q75 == b.error.q75 && a.error.q90 == b.error.q90 &&
+         a.error.rmse == b.error.rmse && a.error.min == b.error.min &&
+         a.error.max == b.error.max &&
+         a.trial_mean_sem == b.trial_mean_sem &&
+         a.penalized_mean == b.penalized_mean && a.coverage == b.coverage &&
+         a.msgs_per_node == b.msgs_per_node &&
+         a.bytes_per_node == b.bytes_per_node &&
+         a.iterations == b.iterations;
+}
+
+/// BNLOC_BENCH_JSON sink: when the env var names a file, the bench appends
+/// one JSON line on destruction — `{"bench", sizing..., "rows": [...]}` —
+/// with every aggregate row passed to add(). Unset env var = inert object,
+/// so call sites need no conditionals.
+class BenchJson {
+ public:
+  BenchJson(const char* bench_id, const BenchConfig& bc)
+      : path_(env_string("BNLOC_BENCH_JSON", "")) {
+    if (path_.empty()) return;
+    w_.begin_object();
+    w_.kv("bench", bench_id);
+    w_.kv("nodes", static_cast<std::uint64_t>(bc.nodes));
+    w_.kv("trials", static_cast<std::uint64_t>(bc.trials));
+    w_.kv("threads", static_cast<std::uint64_t>(bc.threads));
+    w_.kv("fast", bc.fast);
+    w_.key("rows").begin_array();
+  }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() {
+    if (path_.empty()) return;
+    w_.end_array().end_object();
+    if (std::FILE* f = std::fopen(path_.c_str(), "a")) {
+      std::fprintf(f, "%s\n", w_.str().c_str());
+      std::fclose(f);
+    }
+  }
+
+  /// Record one aggregate row; `context` tags the sweep point it came from
+  /// (e.g. "anchors=0.08" or "part=A,threads=4").
+  void add(const AggregateRow& row, const std::string& context = "") {
+    if (path_.empty()) return;
+    w_.begin_object();
+    if (!context.empty()) w_.kv("context", context);
+    obs::write_aggregate_row_fields(w_, row);
+    w_.end_object();
+  }
+
+ private:
+  std::string path_;
+  obs::JsonWriter w_;
+};
 
 /// Print a figure as one series block per algorithm: x-value -> mean error.
 struct Series {

@@ -19,6 +19,7 @@ int main() {
 
   const GridBncl engine;
   const RefinementLocalizer refine;
+  BenchJson bj("F11", bc);
 
   AsciiTable t({"deployment", "bncl+priors", "bncl (no priors)",
                 "ls-refine", "prior gain"});
@@ -33,6 +34,10 @@ int main() {
     cfg.prior_quality = PriorQuality::none;
     const AggregateRow without = run_algorithm(engine, cfg, bc.trials);
     const AggregateRow ls = run_algorithm(refine, cfg, bc.trials);
+    const std::string where = std::string("deployment=") + to_string(kind);
+    bj.add(with, where + ",priors=exact");
+    bj.add(without, where + ",priors=none");
+    bj.add(ls, where);
     const double gain =
         without.error.mean > 0.0
             ? 1.0 - with.error.mean / without.error.mean

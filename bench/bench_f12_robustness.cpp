@@ -18,6 +18,7 @@ int main() {
   const ScenarioConfig base = default_scenario(bc);
   print_banner("F12", "packet loss & negative evidence", bc, base);
 
+  BenchJson bj("F12", bc);
   std::printf("Part A: packet loss sweep\n");
   AsciiTable a({"loss", "bncl-grid mean/R", "bncl-gauss mean/R",
                 "grid iters"});
@@ -28,6 +29,8 @@ int main() {
     xc.packet_loss = loss;
     const AggregateRow g = run_algorithm(GridBncl(gc), base, bc.trials);
     const AggregateRow x = run_algorithm(GaussianBncl(xc), base, bc.trials);
+    bj.add(g, "loss=" + AsciiTable::fmt(loss, 1));
+    bj.add(x, "loss=" + AsciiTable::fmt(loss, 1));
     a.add_row(AsciiTable::fmt(loss, 1),
               {g.error.mean, x.error.mean, g.iterations}, 3);
   }
@@ -42,6 +45,8 @@ int main() {
       GridBnclConfig gc;
       gc.use_negative_evidence = neg;
       const AggregateRow row = run_algorithm(GridBncl(gc), cfg, bc.trials);
+      bj.add(row, std::string("priors=") + to_string(q) +
+                      ",neg_evidence=" + (neg ? "on" : "off"));
       b.add_row({to_string(q), neg ? "on" : "off",
                  AsciiTable::fmt(row.error.mean, 4),
                  AsciiTable::fmt(row.error.q90, 4)});
@@ -60,6 +65,12 @@ int main() {
     const AggregateRow ls =
         run_algorithm(RefinementLocalizer(), cfg, bc.trials);
     const AggregateRow dv = run_algorithm(DvHopLocalizer(), cfg, bc.trials);
+    const std::string where =
+        conn == ConnectivityType::unit_disk ? "conn=unit_disk"
+                                            : "conn=quasi_udg";
+    bj.add(g, where);
+    bj.add(ls, where);
+    bj.add(dv, where);
     c.add_row({conn == ConnectivityType::unit_disk ? "unit_disk"
                                                    : "quasi_udg",
                AsciiTable::fmt(g.error.mean, 4),

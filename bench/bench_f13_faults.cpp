@@ -54,6 +54,7 @@ int main() {
   const ScenarioConfig base = default_scenario(bc);
   print_banner("F13", "fault injection & robust inference", bc, base);
 
+  BenchJson bj("F13", bc);
   std::printf("Part A: NLOS outlier contamination (robust on/off)\n");
   AsciiTable a({"outliers", "grid", "grid-rob", "gauss", "gauss-rob",
                 "particle", "part-rob", "ls-refine", "dv-hop"});
@@ -80,6 +81,15 @@ int main() {
       grid_plain_at_20 = g.error.mean;
       grid_robust_at_20 = gr.error.mean;
     }
+    const std::string where = "outliers=" + AsciiTable::fmt(frac, 1);
+    bj.add(g, where);
+    bj.add(gr, where + ",robust=on");
+    bj.add(x, where);
+    bj.add(xrr, where + ",robust=on");
+    bj.add(p, where);
+    bj.add(prr, where + ",robust=on");
+    bj.add(ls, where);
+    bj.add(dv, where);
     a.add_row(AsciiTable::fmt(frac, 1),
               {g.error.mean, gr.error.mean, x.error.mean, xrr.error.mean,
                p.error.mean, prr.error.mean, ls.error.mean, dv.error.mean},
@@ -108,6 +118,11 @@ int main() {
     const AggregateRow x = run_algorithm(GaussianBncl(), cfg, bc.trials);
     const AggregateRow xr = run_algorithm(GaussianBncl(xv), cfg, bc.trials);
     const DetectionReport det = vet_over_trials(cfg, bc.trials);
+    const std::string where = "faulty_anchors=" + AsciiTable::fmt(frac, 2);
+    bj.add(g, where);
+    bj.add(gr, where + ",vetting=on");
+    bj.add(x, where);
+    bj.add(xr, where + ",vetting=on");
     b.add_row(AsciiTable::fmt(frac, 2),
               {g.error.mean, gr.error.mean, x.error.mean, xr.error.mean,
                det.precision(), det.recall()},
@@ -130,6 +145,11 @@ int main() {
     const AggregateRow gr = run_algorithm(GridBncl(gt), cfg, bc.trials);
     const AggregateRow x = run_algorithm(GaussianBncl(), cfg, bc.trials);
     const AggregateRow xr = run_algorithm(GaussianBncl(xt), cfg, bc.trials);
+    const std::string where = "crashes=" + AsciiTable::fmt(frac, 2);
+    bj.add(g, where);
+    bj.add(gr, where + ",ttl=3");
+    bj.add(x, where);
+    bj.add(xr, where + ",ttl=3");
     c.add_row(AsciiTable::fmt(frac, 2),
               {g.error.mean, gr.error.mean, x.error.mean, xr.error.mean}, 4);
   }

@@ -28,22 +28,8 @@ using namespace bnloc::bench;
 
 namespace {
 
-/// Exact equality of every aggregate that must not depend on the thread
-/// count — everything except the two wall-clock fields.
-bool same_summaries(const AggregateRow& a, const AggregateRow& b) {
-  return a.algo == b.algo && a.trials == b.trials &&
-         a.error.count == b.error.count && a.error.mean == b.error.mean &&
-         a.error.stddev == b.error.stddev &&
-         a.error.median == b.error.median && a.error.q25 == b.error.q25 &&
-         a.error.q75 == b.error.q75 && a.error.q90 == b.error.q90 &&
-         a.error.rmse == b.error.rmse && a.error.min == b.error.min &&
-         a.error.max == b.error.max &&
-         a.trial_mean_sem == b.trial_mean_sem &&
-         a.penalized_mean == b.penalized_mean && a.coverage == b.coverage &&
-         a.msgs_per_node == b.msgs_per_node &&
-         a.bytes_per_node == b.bytes_per_node &&
-         a.iterations == b.iterations;
-}
+// same_summaries lives in bench_common.hpp now (bench_f15_trace reuses it
+// for the telemetry-on/off determinism check).
 
 bool same_estimates(const LocalizationResult& a,
                     const LocalizationResult& b) {
@@ -75,6 +61,7 @@ int main() {
   bool deterministic = true;
   double grid_speedup_at_8 = 0.0;
 
+  BenchJson bj("F14", bc);
   std::printf("Part A: trial-level parallelism (RunOptions::threads)\n");
   AsciiTable a({"algorithm", "threads", "mean/R", "wall ms/tr", "speedup"});
   const GridBncl grid;
@@ -85,6 +72,7 @@ int main() {
     for (std::size_t threads : {1u, 2u, 4u, 8u}) {
       const AggregateRow row =
           run_algorithm(*algo, base, trials, RunOptions{threads});
+      bj.add(row, "threads=" + std::to_string(threads));
       if (threads == 1)
         serial = row;
       else

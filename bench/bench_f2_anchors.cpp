@@ -16,6 +16,7 @@ int main() {
 
   const std::vector<double> fractions = {0.04, 0.06, 0.10, 0.15, 0.20, 0.30};
   auto suite = sweep_suite();
+  BenchJson bj("F2", bc);
 
   std::vector<Series> all;
   for (const auto& algo : suite) {
@@ -25,6 +26,7 @@ int main() {
       ScenarioConfig cfg = base;
       cfg.anchor_fraction = f;
       const AggregateRow row = run_algorithm(*algo, cfg, bc.trials);
+      bj.add(row, "anchors=" + AsciiTable::fmt(f, 2));
       s.xs.push_back(f);
       s.means.push_back(row.error.mean);
       s.penalized.push_back(row.penalized_mean);
@@ -42,6 +44,7 @@ int main() {
       cfg.anchor_fraction = f;
       cfg.prior_quality = PriorQuality::none;
       const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+      bj.add(row, "anchors=" + AsciiTable::fmt(f, 2) + ",priors=none");
       s.xs.push_back(f);
       s.means.push_back(row.error.mean);
       s.penalized.push_back(row.penalized_mean);

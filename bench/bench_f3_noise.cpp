@@ -20,6 +20,7 @@ int main() {
 
   const std::vector<double> noises = {0.02, 0.05, 0.10, 0.15, 0.20};
   auto suite = sweep_suite();
+  BenchJson bj("F3", bc);
 
   std::vector<Series> all;
   for (const auto& algo : suite) {
@@ -29,6 +30,7 @@ int main() {
       ScenarioConfig cfg = base;
       cfg.radio = make_radio(base.radio.range, RangingType::log_normal, nf);
       const AggregateRow row = run_algorithm(*algo, cfg, bc.trials);
+      bj.add(row, "noise=" + AsciiTable::fmt(nf, 2));
       s.xs.push_back(nf);
       s.means.push_back(row.error.mean);
       s.penalized.push_back(row.penalized_mean);

@@ -38,6 +38,7 @@ int main() {
   std::printf("\n");
 
   auto suite = sweep_suite();
+  BenchJson bj("F4", bc);
   std::vector<Series> all;
   for (const auto& algo : suite) {
     Series s;
@@ -47,6 +48,7 @@ int main() {
       cfg.radio = make_radio(r, RangingType::log_normal,
                              base.radio.ranging.noise_factor);
       const AggregateRow row = run_algorithm(*algo, cfg, bc.trials);
+      bj.add(row, "range=" + AsciiTable::fmt(r, 3));
       s.xs.push_back(r);
       s.means.push_back(row.error.mean);
       s.penalized.push_back(row.penalized_mean);

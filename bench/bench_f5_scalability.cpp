@@ -46,6 +46,7 @@ int main() {
       {"mds-map", [](double) { return std::make_unique<MdsMapLocalizer>(); }},
   };
 
+  BenchJson bj("F5", bc);
   for (const auto& entry : suite) {
     AsciiTable t({"nodes", "mean/R", "coverage", "ms/run", "msgs/node"});
     for (std::size_t n : sizes) {
@@ -62,6 +63,7 @@ int main() {
       const std::size_t trials =
           n >= 400 ? std::max<std::size_t>(3, bc.trials / 3) : bc.trials;
       const AggregateRow row = run_algorithm(*algo, cfg, trials);
+      bj.add(row, "nodes=" + std::to_string(n));
       t.add_row(std::to_string(n),
                 {row.error.mean, row.coverage, row.seconds * 1e3,
                  row.msgs_per_node}, 3);

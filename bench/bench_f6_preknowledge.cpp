@@ -17,6 +17,7 @@ int main() {
   print_banner("F6", "value of pre-knowledge (prior quality)", bc, base);
 
   const GridBncl engine;
+  BenchJson bj("F6", bc);
 
   std::printf("Part A: prior quality x anchor density (bncl-grid)\n");
   AsciiTable a({"prior_quality", "anchors", "mean/R", "q90/R", "iters"});
@@ -27,6 +28,8 @@ int main() {
       cfg.anchor_fraction = anchors;
       cfg.prior_quality = q;
       const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+      bj.add(row, std::string("priors=") + to_string(q) +
+                      ",anchors=" + AsciiTable::fmt(anchors, 2));
       a.add_row({to_string(q), AsciiTable::fmt(anchors, 2),
                  AsciiTable::fmt(row.error.mean, 4),
                  AsciiTable::fmt(row.error.q90, 4),
@@ -44,6 +47,7 @@ int main() {
         widen == 1.0 ? PriorQuality::exact : PriorQuality::widened;
     cfg.prior_widen_factor = widen;
     const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+    bj.add(row, "widen=" + AsciiTable::fmt(widen, 1));
     b.add_row(AsciiTable::fmt(widen, 1), {row.error.mean, row.error.q90}, 4);
   }
   // Reference: no priors at all.
@@ -52,6 +56,7 @@ int main() {
     cfg.anchor_fraction = 0.05;
     cfg.prior_quality = PriorQuality::none;
     const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+    bj.add(row, "priors=none");
     b.add_row("none", {row.error.mean, row.error.q90}, 4);
   }
   b.print(std::cout);
@@ -65,6 +70,7 @@ int main() {
         bias == 0.0 ? PriorQuality::exact : PriorQuality::biased;
     cfg.prior_bias_factor = bias;
     const AggregateRow row = run_algorithm(engine, cfg, bc.trials);
+    bj.add(row, "bias=" + AsciiTable::fmt(bias, 2));
     c.add_row(AsciiTable::fmt(bias, 2), {row.error.mean, row.error.q90}, 4);
   }
   c.print(std::cout);

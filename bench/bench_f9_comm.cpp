@@ -17,6 +17,7 @@ int main() {
   const ScenarioConfig base = default_scenario(bc);
   print_banner("F9", "communication cost vs accuracy", bc, base);
 
+  BenchJson bj("F9", bc);
   std::printf("bncl-grid, iteration budget sweep:\n");
   AsciiTable t({"iterations", "mean/R", "msgs/node", "kB/node"});
   for (std::size_t iters : {1UL, 2UL, 4UL, 8UL, 16UL, 24UL}) {
@@ -25,6 +26,7 @@ int main() {
     gc.convergence_tol = 0.0;  // spend the full budget
     const GridBncl engine(gc);
     const AggregateRow row = run_algorithm(engine, base, bc.trials);
+    bj.add(row, "iters=" + std::to_string(iters));
     t.add_row(std::to_string(iters),
               {row.error.mean, row.msgs_per_node,
                row.bytes_per_node / 1024.0}, 3);
@@ -35,6 +37,7 @@ int main() {
   AsciiTable cmp({"algorithm", "mean/R", "msgs/node", "kB/node"});
   for (const auto& algo : default_suite()) {
     const AggregateRow row = run_algorithm(*algo, base, bc.trials);
+    bj.add(row);
     cmp.add_row(
         {row.algo, AsciiTable::fmt(row.error.mean, 4),
          AsciiTable::fmt(row.msgs_per_node, 1),

@@ -18,6 +18,7 @@ int main() {
   const ScenarioConfig base = default_scenario(bc);
   print_banner("T10", "belief resolution ablation", bc, base);
 
+  BenchJson bj("T10", bc);
   std::printf("Part A: grid engine, cells per side\n");
   AsciiTable a({"grid_side", "cell/R", "mean/R", "q90/R", "ms/run",
                 "kB/node"});
@@ -26,6 +27,7 @@ int main() {
     gc.grid_side = side;
     const GridBncl engine(gc);
     const AggregateRow row = run_algorithm(engine, base, bc.trials);
+    bj.add(row, "grid_side=" + std::to_string(side));
     const double cell =
         1.0 / static_cast<double>(side) / base.radio.range;
     a.add_row(std::to_string(side),
@@ -41,6 +43,7 @@ int main() {
     pc.particle_count = k;
     const ParticleBncl engine(pc);
     const AggregateRow row = run_algorithm(engine, base, bc.trials);
+    bj.add(row, "particles=" + std::to_string(k));
     b.add_row(std::to_string(k),
               {row.error.mean, row.error.q90, row.seconds * 1e3,
                row.bytes_per_node / 1024.0}, 3);
@@ -52,6 +55,7 @@ int main() {
   {
     const GaussianBncl engine;
     const AggregateRow row = run_algorithm(engine, base, bc.trials);
+    bj.add(row);
     c.add_row("bncl-gauss",
               {row.error.mean, row.error.q90, row.seconds * 1e3,
                row.bytes_per_node / 1024.0}, 3);

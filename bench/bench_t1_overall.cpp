@@ -19,10 +19,12 @@ int main() {
   print_banner("T1", "overall algorithm comparison", bc, base);
 
   const auto suite = default_suite();
+  BenchJson bj("T1", bc);
   AsciiTable table = make_result_table();
   for (const auto& algo : suite) {
     const AggregateRow row = run_algorithm(*algo, base, bc.trials);
     add_result_row(table, row);
+    bj.add(row);
   }
   table.print(std::cout);
 

@@ -4,6 +4,7 @@
 
 #include "graph/shortest_path.hpp"
 #include "linalg/solve.hpp"
+#include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -37,6 +38,9 @@ LocalizationResult DvHopLocalizer::localize(const Scenario& scenario,
                                             Rng& /*rng*/) const {
   const Stopwatch watch;
   LocalizationResult result = make_result_skeleton(scenario);
+  const bool tracing = obs::trace_active();
+  if (tracing) obs::trace_begin(name());
+  obs::count("dvhop.runs");
   const auto anchors = scenario.anchor_indices();
   if (anchors.size() < config_.min_anchors) {
     result.seconds = watch.seconds();
@@ -44,9 +48,12 @@ LocalizationResult DvHopLocalizer::localize(const Scenario& scenario,
   }
 
   // Phase 1: hop-count flood from every anchor.
+  obs::PhaseTimer flood_timer("dvhop.hop_flood");
   const auto hops = multi_source_hops(scenario.graph, anchors);
+  flood_timer.stop();
 
   // Phase 2: per-anchor average hop length from anchor-to-anchor geometry.
+  obs::PhaseTimer corrections_timer("dvhop.corrections");
   std::vector<double> hop_len(anchors.size(), 0.0);
   for (std::size_t a = 0; a < anchors.size(); ++a) {
     double dist_sum = 0.0;
@@ -63,8 +70,11 @@ LocalizationResult DvHopLocalizer::localize(const Scenario& scenario,
                              : scenario.radio.range;
   }
 
+  corrections_timer.stop();
+
   // Phase 3: unknowns adopt the correction of their nearest (fewest hops)
   // anchor and trilaterate on hop-estimated distances.
+  obs::PhaseTimer lateration_timer("dvhop.lateration");
   for (std::size_t i = 0; i < scenario.node_count(); ++i) {
     if (scenario.is_anchor[i]) continue;
     std::size_t nearest = anchors.size();
@@ -89,6 +99,7 @@ LocalizationResult DvHopLocalizer::localize(const Scenario& scenario,
     if (auto p = lateration(pos, dist))
       result.estimates[i] = scenario.field.clamp(*p);
   }
+  lateration_timer.stop();
 
   // Protocol cost: each anchor flood traverses the whole network once
   // (every node rebroadcasts the best hop count once per anchor), plus the
@@ -102,6 +113,9 @@ LocalizationResult DvHopLocalizer::localize(const Scenario& scenario,
         (anchors.size() + 1) * scenario.graph.degree(u);
   result.iterations = 1;
   result.converged = true;
+  // One-shot algorithm: the trace is a single row of the final state.
+  if (tracing)
+    obs::record_round(scenario, 1, 0.0, result.estimates, result.comm);
   result.seconds = watch.seconds();
   return result;
 }

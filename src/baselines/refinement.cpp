@@ -5,6 +5,7 @@
 
 #include "baselines/dvhop.hpp"
 #include "baselines/minmax.hpp"
+#include "obs/telemetry.hpp"
 #include "support/timer.hpp"
 
 namespace bnloc {
@@ -66,6 +67,12 @@ LocalizationResult RefinementLocalizer::localize(const Scenario& scenario,
   }
 
   // --- Stage 2: iterative weighted Gauss-Newton refinement. --------------
+  // Trace begins here so stage 1's dvhop run doesn't clobber this trace.
+  const bool tracing = obs::trace_active();
+  if (tracing) obs::trace_begin(name());
+  obs::count("refine.runs");
+  std::vector<std::optional<Vec2>> traced_estimates;  // tracing only
+  obs::PhaseTimer rounds_timer("refine.rounds");
   std::vector<Vec2> staged = estimate;
   std::size_t iter = 0;
   for (; iter < config_.max_iterations; ++iter) {
@@ -135,14 +142,24 @@ LocalizationResult RefinementLocalizer::localize(const Scenario& scenario,
     for (std::size_t u = 0; u < n; ++u)
       result.comm.messages_received += scenario.graph.degree(u);
 
-    result.change_per_iteration.push_back(
-        unknowns ? sum_motion / static_cast<double>(unknowns) : 0.0);
+    const double mean_motion =
+        unknowns ? sum_motion / static_cast<double>(unknowns) : 0.0;
+    result.change_per_iteration.push_back(mean_motion);
+    if (tracing) {
+      traced_estimates.assign(n, std::nullopt);
+      for (std::size_t i = 0; i < n; ++i)
+        if (!scenario.is_anchor[i]) traced_estimates[i] = estimate[i];
+      obs::record_round(scenario, iter + 1, mean_motion, traced_estimates,
+                        result.comm);
+    }
     if (max_motion < config_.convergence_tol && iter >= 2) {
       result.converged = true;
       ++iter;
       break;
     }
   }
+  rounds_timer.stop();
+  obs::count(result.converged ? "refine.converged" : "refine.maxed_out");
 
   for (std::size_t i = 0; i < n; ++i)
     if (!scenario.is_anchor[i]) result.estimates[i] = estimate[i];

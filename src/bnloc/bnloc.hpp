@@ -42,6 +42,10 @@
 #include "inference/grid_belief.hpp"
 #include "inference/particle_set.hpp"
 #include "net/comm_stats.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "prior/prior.hpp"
 #include "eval/export.hpp"
 #include "radio/connectivity.hpp"

@@ -6,6 +6,7 @@
 #include "fault/anchor_vetting.hpp"
 #include "inference/gaussian2d.hpp"
 #include "net/sync_radio.hpp"
+#include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -21,16 +22,23 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
   const Stopwatch watch;
   const std::size_t n = scenario.node_count();
   LocalizationResult result = make_result_skeleton(scenario);
+  const bool tracing = obs::trace_active();
+  if (tracing) obs::trace_begin(name());
+  obs::count("gauss.runs");
 
   // Anchor vetting: a flagged anchor keeps its reported mean but gets a
   // radio-range-wide covariance and is re-estimated like an unknown, so its
   // lie is softened instead of propagated at anchor confidence.
   std::vector<unsigned char> acts_anchor(n, 0);
   for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
+  std::size_t anchors_demoted = 0;
   if (config_.anchor_vetting) {
     const AnchorVetReport vet = vet_anchors(scenario);
     for (std::size_t i = 0; i < n; ++i)
-      if (scenario.is_anchor[i] && vet.flagged[i]) acts_anchor[i] = 0;
+      if (scenario.is_anchor[i] && vet.flagged[i]) {
+        acts_anchor[i] = 0;
+        ++anchors_demoted;
+      }
   }
 
   std::vector<Gaussian2> belief(n), prior(n);
@@ -76,9 +84,12 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
       config_.stale_ttl > 0 ? slot_offset[n] : 0, 0);
 
   std::vector<Gaussian2> staged = belief;
+  std::vector<std::optional<Vec2>> traced_estimates;  // tracing only
+  obs::PhaseTimer rounds_timer("gauss.rounds");
   std::size_t iter = 0;
   for (; iter < config_.max_iterations; ++iter) {
     radio.begin_round();
+    std::size_t huber_downweighted = 0;
     for (std::size_t u = 0; u < n; ++u) {
       if (radio.crashed(u)) continue;  // published state freezes at death
       prev_pub[u] = cur_pub[u];
@@ -112,7 +123,10 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
           const double residual =
               std::abs(nb.weight - distance(belief[i].mean, src.mean));
           const double gate = config_.huber_k * sigma;
-          if (residual > gate) sigma *= std::sqrt(residual / gate);
+          if (residual > gate) {
+            sigma *= std::sqrt(residual / gate);
+            ++huber_downweighted;
+          }
         }
         acc.add_range(src, belief[i].mean, nb.weight, sigma);
       }
@@ -130,14 +144,30 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
     for (std::size_t i = 0; i < n; ++i)
       if (!acts_anchor[i] && !radio.crashed(i)) belief[i] = staged[i];
 
-    result.change_per_iteration.push_back(
-        unknowns ? sum_motion / static_cast<double>(unknowns) : 0.0);
+    const double mean_motion =
+        unknowns ? sum_motion / static_cast<double>(unknowns) : 0.0;
+    result.change_per_iteration.push_back(mean_motion);
+    if (tracing) {
+      traced_estimates.assign(n, std::nullopt);
+      for (std::size_t i = 0; i < n; ++i)
+        if (!scenario.is_anchor[i]) traced_estimates[i] = belief[i].mean;
+      obs::RobustActivity robust;
+      robust.links_downweighted = huber_downweighted;
+      robust.stale_links = obs::stale_link_count(last_heard, iter + 1,
+                                                 config_.stale_ttl);
+      robust.anchors_demoted = anchors_demoted;
+      robust.crashed_nodes = radio.crashed_count();
+      obs::record_round(scenario, iter + 1, mean_motion, traced_estimates,
+                        radio.stats(), robust);
+    }
     if (max_motion < config_.convergence_tol && iter >= 2) {
       result.converged = true;
       ++iter;
       break;
     }
   }
+  rounds_timer.stop();
+  obs::count(result.converged ? "gauss.converged" : "gauss.maxed_out");
 
   for (std::size_t i = 0; i < n; ++i) {
     if (scenario.is_anchor[i]) continue;

@@ -8,6 +8,7 @@
 #include "inference/grid_belief.hpp"
 #include "inference/range_kernel.hpp"
 #include "net/sync_radio.hpp"
+#include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -63,6 +64,10 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   const std::size_t n = scenario.node_count();
   const std::size_t side = config_.grid_side;
   LocalizationResult result = make_result_skeleton(scenario);
+  const bool tracing = obs::trace_active();
+  if (tracing) obs::trace_begin(name());
+  obs::count("grid.runs");
+  obs::PhaseTimer setup_timer("grid.setup");
 
   // --- Robustness preamble ------------------------------------------------
   // Anchor vetting: flagged anchors act as wide-prior unknowns below, so a
@@ -70,6 +75,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   std::vector<unsigned char> acts_anchor(n, 0);
   for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
   std::vector<PriorPtr> demoted_prior(n);
+  std::size_t anchors_demoted = 0;
   if (config_.anchor_vetting) {
     const AnchorVetReport vet = vet_anchors(scenario);
     for (std::size_t i = 0; i < n; ++i) {
@@ -77,6 +83,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       acts_anchor[i] = 0;
       demoted_prior[i] = GaussianPrior::isotropic(scenario.anchor_position(i),
                                                   scenario.radio.range);
+      ++anchors_demoted;
     }
   }
   const RangingSpec ranging =
@@ -164,7 +171,10 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
     }
   };
 
+  setup_timer.stop();
+
   // --- Iterations ---------------------------------------------------------
+  obs::PhaseTimer rounds_timer("grid.rounds");
   std::size_t iter = 0;
   for (; iter < config_.max_iterations; ++iter) {
     radio.begin_round();
@@ -289,12 +299,24 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       emit_estimates(belief);
       config_.observer(iter + 1, result.estimates);
     }
+    if (tracing) {
+      emit_estimates(belief);
+      obs::RobustActivity robust;
+      robust.anchors_demoted = anchors_demoted;
+      robust.stale_links = obs::stale_link_count(last_heard, iter + 1,
+                                                 config_.stale_ttl);
+      robust.crashed_nodes = radio.crashed_count();
+      obs::record_round(scenario, iter + 1, mean_change, result.estimates,
+                        radio.stats(), robust);
+    }
     if (mean_change < config_.convergence_tol && iter >= 2) {
       result.converged = true;
       ++iter;
       break;
     }
   }
+  rounds_timer.stop();
+  obs::count(result.converged ? "grid.converged" : "grid.maxed_out");
 
   emit_estimates(belief);
   result.iterations = iter;

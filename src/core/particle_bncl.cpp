@@ -6,6 +6,7 @@
 #include "fault/anchor_vetting.hpp"
 #include "inference/particle_set.hpp"
 #include "net/sync_radio.hpp"
+#include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
@@ -25,12 +26,17 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   const std::size_t n = scenario.node_count();
   const std::size_t k_particles = config_.particle_count;
   LocalizationResult result = make_result_skeleton(scenario);
+  const bool tracing = obs::trace_active();
+  if (tracing) obs::trace_begin(name());
+  obs::count("particle.runs");
+  obs::PhaseTimer setup_timer("particle.setup");
 
   // Anchor vetting: flagged anchors trade their delta cloud for a
   // radio-range-wide one and re-estimate like unknowns.
   std::vector<unsigned char> acts_anchor(n, 0);
   for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
   std::vector<PriorPtr> demoted_prior(n);
+  std::size_t anchors_demoted = 0;
   if (config_.anchor_vetting) {
     const AnchorVetReport vet = vet_anchors(scenario);
     for (std::size_t i = 0; i < n; ++i) {
@@ -38,6 +44,7 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
       acts_anchor[i] = 0;
       demoted_prior[i] = GaussianPrior::isotropic(scenario.anchor_position(i),
                                                   scenario.radio.range);
+      ++anchors_demoted;
     }
   }
   const auto prior_of = [&](std::size_t i) -> const PositionPrior& {
@@ -82,6 +89,9 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   for (std::size_t i = 0; i < n; ++i) prev_mean[i] = belief[i].mean();
 
   std::vector<double> weights(k_particles);
+  std::vector<std::optional<Vec2>> traced_estimates;  // tracing only
+  setup_timer.stop();
+  obs::PhaseTimer rounds_timer("particle.rounds");
   std::size_t iter = 0;
   for (; iter < config_.max_iterations; ++iter) {
     radio.begin_round();
@@ -184,12 +194,28 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     const double avg_motion =
         unknowns ? mean_motion / static_cast<double>(unknowns) : 0.0;
     result.change_per_iteration.push_back(avg_motion);
+    if (tracing) {
+      // prev_mean[i] holds the committed round mean for every non-anchor
+      // (crashed nodes keep their last alive mean, same as the final output).
+      traced_estimates.assign(n, std::nullopt);
+      for (std::size_t i = 0; i < n; ++i)
+        if (!scenario.is_anchor[i]) traced_estimates[i] = prev_mean[i];
+      obs::RobustActivity robust;
+      robust.stale_links = obs::stale_link_count(last_heard, iter + 1,
+                                                 config_.stale_ttl);
+      robust.anchors_demoted = anchors_demoted;
+      robust.crashed_nodes = radio.crashed_count();
+      obs::record_round(scenario, iter + 1, avg_motion, traced_estimates,
+                        radio.stats(), robust);
+    }
     if (avg_motion < config_.convergence_tol && iter >= 2) {
       result.converged = true;
       ++iter;
       break;
     }
   }
+  rounds_timer.stop();
+  obs::count(result.converged ? "particle.converged" : "particle.maxed_out");
 
   for (std::size_t i = 0; i < n; ++i) {
     if (scenario.is_anchor[i]) continue;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/telemetry.hpp"
 #include "support/config.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -62,14 +63,34 @@ AggregateRow run_algorithm(const Localizer& algo, const ScenarioConfig& base,
   row.trials = trials;
   const Stopwatch wall;
 
+  // Telemetry is a strict observer: per-trial sinks (or the calling
+  // thread's ambient sink, explicitly carried onto the workers so serial
+  // and parallel runs capture alike) record what happened, never feed back.
+  obs::RunTelemetry* telemetry = options.telemetry;
+  if (telemetry) {
+    telemetry->trials.clear();
+    telemetry->trials.resize(trials);
+    for (obs::Telemetry& sink : telemetry->trials)
+      sink.trace_enabled = telemetry->trace_trials;
+  }
+  obs::Telemetry* ambient = obs::current();
+
   std::vector<TrialOutcome> outcomes(trials);
   const auto run_trial = [&](std::size_t t) {
+    const obs::TelemetryScope scope(telemetry ? &telemetry->trials[t]
+                                              : ambient);
     ScenarioConfig cfg = base;
     cfg.seed = base.seed + t;
+    obs::PhaseTimer build_timer("harness.build_scenario");
     const Scenario scenario = build_scenario(cfg);
+    build_timer.stop();
     Rng rng = make_algo_rng(row.algo, cfg.seed);
+    obs::PhaseTimer solve_timer("harness.localize");
     const LocalizationResult result = algo.localize(scenario, rng);
+    solve_timer.stop();
+    obs::PhaseTimer eval_timer("harness.evaluate");
     ErrorReport report = evaluate(scenario, result);
+    eval_timer.stop();
     TrialOutcome& out = outcomes[t];
     out.errors = std::move(report.errors);
     out.has_errors = !out.errors.empty();
@@ -104,6 +125,14 @@ AggregateRow run_algorithm(const Localizer& algo, const ScenarioConfig& base,
     bytes.add(out.bytes);
     iters.add(out.iterations);
     secs.add(out.seconds);
+  }
+
+  // Fold per-trial telemetry in trial order, mirroring the outcome fold:
+  // counter sums are identical at any thread count.
+  if (telemetry) {
+    for (const obs::Telemetry& sink : telemetry->trials)
+      telemetry->aggregate.registry.merge(sink.registry);
+    telemetry->aggregate.registry.count("harness.trials", trials);
   }
 
   row.error = summarize(pooled_errors);

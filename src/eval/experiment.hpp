@@ -13,6 +13,10 @@
 
 namespace bnloc {
 
+namespace obs {
+struct RunTelemetry;
+}
+
 /// One algorithm's aggregate over a set of trials of one configuration.
 struct AggregateRow {
   std::string algo;
@@ -34,13 +38,23 @@ struct AggregateRow {
 
 /// Execution options for the Monte-Carlo harness. Deliberately NOT part of
 /// the scenario or algorithm configuration: any thread count produces
-/// bit-identical aggregates (see DESIGN.md "Threading model"), so these
+/// bit-identical aggregates (see DESIGN.md "Threading model"), and the
+/// telemetry sink is a strict observer (docs/OBSERVABILITY.md), so these
 /// knobs affect wall-clock only.
 struct RunOptions {
   /// Worker threads for trial-level parallelism. 1 (default) runs trials
   /// serially on the calling thread — the seed behavior of every earlier
   /// release; 0 selects hardware concurrency.
   std::size_t threads = 1;
+
+  /// Optional telemetry capture (obs/telemetry.hpp). When set, each trial
+  /// runs under its own per-trial sink (`telemetry->trials[t]`, cleared and
+  /// re-sized per run_algorithm call) and the per-trial registries are
+  /// folded into `telemetry->aggregate` in trial order after the join —
+  /// counters are bit-identical at any thread count. Null (the default)
+  /// leaves whatever ambient sink the calling thread had installed in
+  /// effect for every trial, serial or parallel.
+  obs::RunTelemetry* telemetry = nullptr;
 
   /// Reads the BNLOC_THREADS environment override (default 1).
   [[nodiscard]] static RunOptions from_env() noexcept;

@@ -61,7 +61,7 @@ bool export_aggregate_csv(const std::string& path,
   if (!csv.ok()) return false;
   csv.write_row({"algorithm", "trials", "mean", "median", "rmse", "q90",
                  "coverage", "penalized_mean", "msgs_per_node",
-                 "bytes_per_node", "iterations", "seconds"});
+                 "bytes_per_node", "iterations", "seconds", "wall_seconds"});
   for (const AggregateRow& r : rows) {
     csv.write_row({r.algo, std::to_string(r.trials),
                    AsciiTable::fmt(r.error.mean, 6),
@@ -73,7 +73,8 @@ bool export_aggregate_csv(const std::string& path,
                    AsciiTable::fmt(r.msgs_per_node, 3),
                    AsciiTable::fmt(r.bytes_per_node, 1),
                    AsciiTable::fmt(r.iterations, 2),
-                   AsciiTable::fmt(r.seconds, 5)});
+                   AsciiTable::fmt(r.seconds, 5),
+                   AsciiTable::fmt(r.wall_seconds, 5)});
   }
   return true;
 }

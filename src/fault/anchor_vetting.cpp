@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/telemetry.hpp"
+
 namespace bnloc {
 
 std::size_t AnchorVetReport::flagged_count() const noexcept {
@@ -24,6 +26,7 @@ struct PairEvidence {
 
 AnchorVetReport vet_anchors(const Scenario& scenario,
                             const AnchorVetConfig& config) {
+  const obs::PhaseTimer vet_timer("fault.vet_anchors");
   const std::size_t n = scenario.node_count();
   AnchorVetReport report;
   report.flagged.assign(n, 0);
@@ -126,6 +129,8 @@ AnchorVetReport vet_anchors(const Scenario& scenario,
       return ev.a == worst || ev.b == worst;
     });
   }
+  if (const std::size_t flagged = report.flagged_count())
+    obs::count("fault.anchors_flagged", flagged);
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/telemetry.hpp"
 #include "radio/ranging.hpp"
 #include "support/assert.hpp"
 
@@ -35,15 +36,18 @@ std::vector<unsigned char> FaultInjector::contaminate_links(
   BNLOC_ASSERT(spec_.outlier_fraction <= 1.0, "outlier fraction > 1");
   const double scale = spec_.outlier_tail_scale * ranging.range;
   BNLOC_ASSERT(scale > 0.0, "outlier tail scale must be positive");
+  std::size_t injected = 0;
   for (std::size_t e = 0; e < edges.size(); ++e) {
     if (!rng.bernoulli(spec_.outlier_fraction)) continue;
     outlier[e] = 1;
+    ++injected;
     // The direct path is blocked; the radio measures a longer bounce path:
     // true distance plus an exponential excess (heavy right tail).
     const double true_dist =
         distance(positions[edges[e].u], positions[edges[e].v]);
     edges[e].weight = true_dist + rng.exponential(1.0 / scale);
   }
+  if (injected) obs::count("fault.outlier_links", injected);
   return outlier;
 }
 
@@ -68,6 +72,7 @@ std::vector<unsigned char> FaultInjector::drift_anchors(
     reported[a] = field.clamp(
         reported[a] + Vec2{std::cos(angle), std::sin(angle)} * drift);
   }
+  obs::count("fault.anchors_drifted", picks.size());
   return faulty;
 }
 
@@ -78,9 +83,13 @@ std::vector<std::size_t> FaultInjector::schedule_crashes(
   BNLOC_ASSERT(spec_.crash_round_min <= spec_.crash_round_max,
                "crash round window inverted");
   const std::size_t span = spec_.crash_round_max - spec_.crash_round_min + 1;
+  std::size_t scheduled = 0;
   for (std::size_t i = 0; i < node_count; ++i)
-    if (rng.bernoulli(spec_.crash_fraction))
+    if (rng.bernoulli(spec_.crash_fraction)) {
       death[i] = spec_.crash_round_min + rng.uniform_index(span);
+      ++scheduled;
+    }
+  if (scheduled) obs::count("fault.crashes_scheduled", scheduled);
   return death;
 }
 

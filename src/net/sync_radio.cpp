@@ -1,5 +1,6 @@
 #include "net/sync_radio.hpp"
 
+#include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 
 namespace bnloc {
@@ -34,9 +35,14 @@ void SyncRadio::begin_round() {
   ++stats_.rounds;
   ++round_;
   round_open_ = true;
+  obs::count("radio.rounds");
   if (loss_ <= 0.0) return;  // flags stay all-delivered
-  for (auto& flag : delivered_)
+  std::size_t drops = 0;
+  for (auto& flag : delivered_) {
     flag = rng_.bernoulli(loss_) ? 0 : 1;
+    drops += flag ? 0 : 1;
+  }
+  if (drops) obs::count("radio.links_dropped", drops);
 }
 
 std::size_t SyncRadio::link_slot(std::size_t from, std::size_t to) const {
@@ -52,13 +58,25 @@ bool SyncRadio::crashed(std::size_t node) const noexcept {
   return !death_rounds_.empty() && round_ > death_rounds_[node];
 }
 
+std::size_t SyncRadio::crashed_count() const noexcept {
+  std::size_t dead = 0;
+  for (const std::size_t death : death_rounds_)
+    if (round_ > death) ++dead;
+  return dead;
+}
+
 void SyncRadio::record_broadcast(std::size_t node, std::size_t bytes) {
   BNLOC_ASSERT(round_open_, "broadcast outside a round");
   if (crashed(node)) return;  // a dead node transmits nothing
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
+  std::size_t received = 0;
   for (const Neighbor& nb : graph_->neighbors(node))
-    if (delivered(node, nb.node)) ++stats_.messages_received;
+    if (delivered(node, nb.node)) ++received;
+  stats_.messages_received += received;
+  obs::count("radio.broadcasts");
+  obs::count("radio.bytes_sent", bytes);
+  obs::count("radio.deliveries", received);
 }
 
 bool SyncRadio::delivered(std::size_t from, std::size_t to) const {

@@ -49,6 +49,10 @@ class SyncRadio {
   /// longer delivered)?
   [[nodiscard]] bool crashed(std::size_t node) const noexcept;
 
+  /// Nodes crashed as of the current round (telemetry: the trace's
+  /// crashed_nodes column). 0 when no crash schedule was given.
+  [[nodiscard]] std::size_t crashed_count() const noexcept;
+
   /// Rounds elapsed (number of begin_round calls so far).
   [[nodiscard]] std::size_t round() const noexcept { return round_; }
 

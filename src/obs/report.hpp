@@ -1,0 +1,78 @@
+// Machine-readable run reports and trace exports.
+//
+// Two artifacts, both suitable for committing as the repo's BENCH_*.json
+// perf trajectory or uploading from CI:
+//
+//  * export_trace_jsonl — one JSON object per belief-update round (JSON
+//    Lines: stream-appendable, one record per line).
+//  * export_run_report_json — one JSON object manifesting a whole
+//    run_algorithm call: scenario config, seed, threads, engine params,
+//    the aggregate metrics row, and the folded registry (counters + the
+//    per-phase timing breakdown).
+//
+// This is the only obs/ header that depends on the eval layer; the
+// instrumentation half (registry/telemetry/trace) sits below the engines.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace bnloc::obs {
+
+/// Everything one run_algorithm call is, in one serializable record.
+struct RunReport {
+  std::string run_id;  ///< free-form: bench id, CI job, experiment name.
+  std::string algo;
+  // --- Scenario manifest --------------------------------------------------
+  std::size_t nodes = 0;
+  double anchor_fraction = 0.0;
+  std::string deployment;
+  std::string anchor_placement;
+  double radio_range = 0.0;
+  std::string ranging;  ///< e.g. "log_normal(10%)".
+  std::string prior_quality;
+  bool faults = false;
+  std::uint64_t seed = 0;
+  // --- Execution ----------------------------------------------------------
+  std::size_t trials = 0;
+  std::size_t threads = 0;
+  /// Engine knobs the caller wants on record (free-form key/value).
+  std::vector<std::pair<std::string, std::string>> engine_params;
+  // --- Results ------------------------------------------------------------
+  AggregateRow aggregate;
+  /// Registry snapshot: counters plus the per-phase timing breakdown.
+  std::vector<MetricEntry> metrics;
+};
+
+/// Assemble a report from the harness inputs/outputs. When
+/// `options.telemetry` is set, the folded aggregate registry is snapshotted
+/// into `metrics`; engine_params start empty (fill them at the call site).
+[[nodiscard]] RunReport make_run_report(std::string run_id,
+                                        const ScenarioConfig& config,
+                                        const AggregateRow& row,
+                                        const RunOptions& options);
+
+/// Serialize `report` to `path` as a single JSON object. Returns false when
+/// the file cannot be opened.
+bool export_run_report_json(const std::string& path, const RunReport& report);
+
+/// Serialize a convergence trace to `path` as JSON Lines (one round per
+/// line, algo stamped on every line). `append` adds to an existing file —
+/// the natural mode for multi-run trace files.
+bool export_trace_jsonl(const std::string& path,
+                        const ConvergenceTrace& trace, bool append = false);
+
+/// Write the fields of one AggregateRow into the writer's current object
+/// (no begin/end) — shared by the run report and the bench JSON knob.
+void write_aggregate_row_fields(JsonWriter& w, const AggregateRow& row);
+
+/// "log_normal(10%)"-style summary of a scenario's ranging model.
+[[nodiscard]] std::string describe_ranging(const ScenarioConfig& config);
+
+}  // namespace bnloc::obs

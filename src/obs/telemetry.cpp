@@ -1,0 +1,18 @@
+#include "obs/telemetry.hpp"
+
+namespace bnloc::obs {
+
+namespace {
+thread_local Telemetry* t_current = nullptr;
+}  // namespace
+
+Telemetry* current() noexcept { return t_current; }
+
+TelemetryScope::TelemetryScope(Telemetry* telemetry) noexcept
+    : prev_(t_current) {
+  t_current = telemetry;
+}
+
+TelemetryScope::~TelemetryScope() { t_current = prev_; }
+
+}  // namespace bnloc::obs

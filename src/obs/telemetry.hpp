@@ -1,0 +1,110 @@
+// Ambient telemetry sink: how instrumented code finds "the" registry/trace.
+//
+// A Telemetry bundles a metrics Registry with a ConvergenceTrace. Install
+// one on the current thread with a TelemetryScope; instrumentation sites
+// (obs::count, obs::gauge, obs::PhaseTimer, obs::record_round) report to
+// whatever sink is installed and are a thread-local load plus a branch when
+// none is — the null sink costs effectively nothing and is the default
+// everywhere, so the seed behavior of every engine and bench is unchanged.
+//
+// Telemetry is strictly write-only from the instrumented code's point of
+// view: no call reads a metric back, so enabling a sink cannot perturb
+// results (the determinism contract, asserted by tests/test_obs.cpp and
+// bench_f15_trace).
+//
+// Threading: the scope is per-thread. The Monte-Carlo harness installs a
+// dedicated per-trial Telemetry on whichever worker runs the trial
+// (RunTelemetry below) and folds the per-trial registries IN TRIAL ORDER
+// afterwards — the thread-local accumulation that keeps folded counters
+// bit-identical at any thread count. Sharing one Telemetry across threads
+// is also safe (Registry and ConvergenceTrace are internally locked), but
+// trace rows from concurrent runs would interleave; use RunTelemetry when
+// you want per-trial traces.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace bnloc::obs {
+
+struct Telemetry {
+  Registry registry;
+  ConvergenceTrace trace;
+  /// When false the sink captures counters/timers only: engines skip the
+  /// per-round estimate emission that feeds the trace.
+  bool trace_enabled = true;
+};
+
+/// The sink installed on this thread, or nullptr.
+[[nodiscard]] Telemetry* current() noexcept;
+
+/// RAII installation of a sink on the current thread; restores the previous
+/// sink (possibly nullptr) on destruction. Passing nullptr installs the
+/// null sink, which is how the harness shields nested code when needed.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(Telemetry* telemetry) noexcept;
+  ~TelemetryScope();
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  Telemetry* prev_;
+};
+
+/// Telemetry capture for one run_algorithm call (eval/experiment.hpp):
+/// `trials[t]` receives trial t's counters, timers, and trace; `aggregate`
+/// receives the per-trial registries folded in trial order after the join,
+/// plus anything recorded outside the trial loop.
+struct RunTelemetry {
+  /// Applied to every per-trial sink: false turns off per-round traces
+  /// (cheaper) while still collecting counters and phase timers.
+  bool trace_trials = true;
+  Telemetry aggregate;
+  /// deque, not vector: Telemetry holds mutexes and is neither movable nor
+  /// copyable, and deque::resize constructs elements in place.
+  std::deque<Telemetry> trials;
+};
+
+// --- Instrumentation sites (no-ops without an installed sink) -------------
+
+inline void count(const char* name, std::uint64_t delta = 1) {
+  if (Telemetry* t = current()) t->registry.count(name, delta);
+}
+
+inline void gauge(const char* name, double value) {
+  if (Telemetry* t = current()) t->registry.gauge(name, value);
+}
+
+/// Scoped wall-clock timer for a named phase. Records on stop() or
+/// destruction, whichever comes first; never reads anything back.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const char* name) noexcept
+      : telemetry_(current()), name_(name) {
+    if (telemetry_) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() { stop(); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  void stop() noexcept {
+    if (!telemetry_) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    telemetry_->registry.time_ns(name_, static_cast<std::uint64_t>(ns));
+    telemetry_ = nullptr;  // disarm: record at most once
+  }
+
+ private:
+  Telemetry* telemetry_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bnloc::obs

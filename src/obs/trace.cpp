@@ -1,0 +1,93 @@
+#include "obs/trace.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "deploy/scenario.hpp"
+#include "obs/telemetry.hpp"
+
+namespace bnloc::obs {
+
+void ConvergenceTrace::begin(std::string algo) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  algo_ = std::move(algo);
+  last_ = CommStats{};
+  rows_.clear();
+}
+
+void ConvergenceTrace::record(std::size_t round, double residual,
+                              double mean_error, std::size_t localized,
+                              const CommStats& cumulative,
+                              const RobustActivity& robust) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceRound row;
+  row.round = round;
+  row.residual = residual;
+  row.mean_error = mean_error;
+  row.localized = localized;
+  row.msgs_sent = cumulative.messages_sent - last_.messages_sent;
+  row.msgs_received = cumulative.messages_received - last_.messages_received;
+  row.bytes_sent = cumulative.bytes_sent - last_.bytes_sent;
+  row.robust = robust;
+  last_ = cumulative;
+  rows_.push_back(row);
+}
+
+std::vector<TraceRound> ConvergenceTrace::rows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rows_;
+}
+
+std::string ConvergenceTrace::algo() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return algo_;
+}
+
+bool ConvergenceTrace::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.empty();
+}
+
+bool trace_active() noexcept {
+  const Telemetry* t = current();
+  return t && t->trace_enabled;
+}
+
+void trace_begin(const std::string& algo) {
+  Telemetry* t = current();
+  if (!t || !t->trace_enabled) return;
+  t->trace.begin(algo);
+}
+
+void record_round(const Scenario& scenario, std::size_t round,
+                  double residual,
+                  std::span<const std::optional<Vec2>> estimates,
+                  const CommStats& cumulative,
+                  const RobustActivity& robust) {
+  Telemetry* t = current();
+  if (!t || !t->trace_enabled) return;
+  double err = 0.0;
+  std::size_t localized = 0;
+  for (std::size_t i = 0; i < scenario.node_count(); ++i) {
+    if (scenario.is_anchor[i]) continue;
+    if (i >= estimates.size() || !estimates[i]) continue;
+    err += distance(*estimates[i], scenario.true_positions[i]) /
+           scenario.radio.range;
+    ++localized;
+  }
+  const double mean_error =
+      localized ? err / static_cast<double>(localized)
+                : std::numeric_limits<double>::quiet_NaN();
+  t->trace.record(round, residual, mean_error, localized, cumulative, robust);
+}
+
+std::size_t stale_link_count(std::span<const std::size_t> last_heard,
+                             std::size_t round, std::size_t ttl) noexcept {
+  if (ttl == 0) return 0;
+  std::size_t stale = 0;
+  for (const std::size_t heard : last_heard)
+    if (round - heard > ttl) ++stale;
+  return stale;
+}
+
+}  // namespace bnloc::obs

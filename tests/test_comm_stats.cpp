@@ -1,0 +1,87 @@
+// Unit tests for communication accounting (net/comm_stats.hpp) and its
+// per-round delta view in the convergence trace.
+#include "net/comm_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+
+namespace bnloc {
+namespace {
+
+TEST(CommStats, DefaultsToZero) {
+  const CommStats s;
+  EXPECT_EQ(s.rounds, 0u);
+  EXPECT_EQ(s.messages_sent, 0u);
+  EXPECT_EQ(s.messages_received, 0u);
+  EXPECT_EQ(s.bytes_sent, 0u);
+}
+
+TEST(CommStats, MergeSumsEveryCounter) {
+  CommStats a;
+  a.rounds = 2;
+  a.messages_sent = 10;
+  a.messages_received = 25;
+  a.bytes_sent = 400;
+  CommStats b;
+  b.rounds = 3;
+  b.messages_sent = 5;
+  b.messages_received = 12;
+  b.bytes_sent = 100;
+  a.merge(b);
+  EXPECT_EQ(a.rounds, 5u);
+  EXPECT_EQ(a.messages_sent, 15u);
+  EXPECT_EQ(a.messages_received, 37u);
+  EXPECT_EQ(a.bytes_sent, 500u);
+  // merge must not touch its argument.
+  EXPECT_EQ(b.messages_sent, 5u);
+}
+
+TEST(CommStats, PerNodeRatios) {
+  CommStats s;
+  s.messages_sent = 30;
+  s.bytes_sent = 900;
+  EXPECT_DOUBLE_EQ(s.messages_per_node(10), 3.0);
+  EXPECT_DOUBLE_EQ(s.bytes_per_node(10), 90.0);
+}
+
+TEST(CommStats, ZeroNodesGuard) {
+  CommStats s;
+  s.messages_sent = 30;
+  s.bytes_sent = 900;
+  EXPECT_DOUBLE_EQ(s.messages_per_node(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.bytes_per_node(0), 0.0);
+}
+
+// The trace records per-round DELTAS from the radio's cumulative counters;
+// summing the deltas over all rows must reproduce the cumulative totals.
+TEST(CommStats, TraceDeltasSumBackToCumulative) {
+  obs::ConvergenceTrace trace;
+  trace.begin("demo");
+  CommStats cum;
+  const std::size_t sent_per_round[] = {7, 0, 12};
+  const std::size_t bytes_per_round[] = {70, 0, 144};
+  for (std::size_t i = 0; i < 3; ++i) {
+    cum.rounds += 1;
+    cum.messages_sent += sent_per_round[i];
+    cum.messages_received += 2 * sent_per_round[i];
+    cum.bytes_sent += bytes_per_round[i];
+    trace.record(i + 1, 0.0, 0.0, 0, cum, {});
+  }
+  const auto rows = trace.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  std::size_t sent = 0, received = 0, bytes = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].msgs_sent, sent_per_round[i]);
+    EXPECT_EQ(rows[i].bytes_sent, bytes_per_round[i]);
+    sent += rows[i].msgs_sent;
+    received += rows[i].msgs_received;
+    bytes += rows[i].bytes_sent;
+  }
+  EXPECT_EQ(sent, cum.messages_sent);
+  EXPECT_EQ(received, cum.messages_received);
+  EXPECT_EQ(bytes, cum.bytes_sent);
+}
+
+}  // namespace
+}  // namespace bnloc

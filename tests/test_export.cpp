@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -83,6 +84,29 @@ TEST(Export, AggregateCsvRoundTrip) {
   std::getline(in, data);
   EXPECT_EQ(data.substr(0, 9), "centroid,");
   std::remove(path.c_str());
+}
+
+TEST(Export, AggregateCsvRoundTripsWallSeconds) {
+  AggregateRow row;
+  row.algo = "demo";
+  row.trials = 3;
+  row.seconds = 0.5;
+  row.wall_seconds = 1.25;
+  const std::string path = ::testing::TempDir() + "/bnloc_agg_wall.csv";
+  ASSERT_TRUE(export_aggregate_csv(path, {row}));
+  std::ifstream in(path);
+  std::string header, data;
+  std::getline(in, header);
+  std::getline(in, data);
+  std::remove(path.c_str());
+  // The harness wall-clock column must survive the round trip (it used to
+  // be silently dropped), and the header must stay aligned with the data.
+  EXPECT_NE(header.find("wall_seconds"), std::string::npos);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(data));
+  EXPECT_NE(data.find("1.25"), std::string::npos);
 }
 
 TEST(Export, BadPathsReturnFalse) {
