@@ -25,8 +25,8 @@ namespace {
 
 GridBnclConfig robust_grid_config() {
   GridBnclConfig gc;
-  gc.robust_likelihood = true;
-  gc.contamination_epsilon = 0.15;
+  gc.robustness.robust_likelihood = true;
+  gc.robustness.contamination_epsilon = 0.15;
   return gc;
 }
 
@@ -63,10 +63,10 @@ int main() {
     ScenarioConfig cfg = base;
     cfg.faults.outlier_fraction = frac;
     GaussianBnclConfig xr;
-    xr.robust = true;
+    xr.robustness.robust_likelihood = true;
     ParticleBnclConfig pr;
-    pr.robust_likelihood = true;
-    pr.contamination_epsilon = 0.15;
+    pr.robustness.robust_likelihood = true;
+    pr.robustness.contamination_epsilon = 0.15;
     const AggregateRow g = run_algorithm(GridBncl(), cfg, bc.trials);
     const AggregateRow gr =
         run_algorithm(GridBncl(robust_grid_config()), cfg, bc.trials);
@@ -110,9 +110,9 @@ int main() {
     cfg.anchor_fraction = 0.2;
     cfg.faults.faulty_anchor_fraction = frac;
     GridBnclConfig gv;
-    gv.anchor_vetting = true;
+    gv.robustness.anchor_vetting = true;
     GaussianBnclConfig xv;
-    xv.anchor_vetting = true;
+    xv.robustness.anchor_vetting = true;
     const AggregateRow g = run_algorithm(GridBncl(), cfg, bc.trials);
     const AggregateRow gr = run_algorithm(GridBncl(gv), cfg, bc.trials);
     const AggregateRow x = run_algorithm(GaussianBncl(), cfg, bc.trials);
@@ -138,9 +138,9 @@ int main() {
     cfg.faults.crash_round_min = 2;
     cfg.faults.crash_round_max = 8;
     GridBnclConfig gt;
-    gt.stale_ttl = 3;
+    gt.robustness.stale_ttl = 3;
     GaussianBnclConfig xt;
-    xt.stale_ttl = 3;
+    xt.robustness.stale_ttl = 3;
     const AggregateRow g = run_algorithm(GridBncl(), cfg, bc.trials);
     const AggregateRow gr = run_algorithm(GridBncl(gt), cfg, bc.trials);
     const AggregateRow x = run_algorithm(GaussianBncl(), cfg, bc.trials);

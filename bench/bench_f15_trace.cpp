@@ -37,9 +37,9 @@ int main() {
     cfg.faults.crash_round_min = 2;
     cfg.faults.crash_round_max = 8;
     GridBnclConfig gc;
-    gc.robust_likelihood = true;
-    gc.contamination_epsilon = 0.15;
-    gc.stale_ttl = 3;
+    gc.robustness.robust_likelihood = true;
+    gc.robustness.contamination_epsilon = 0.15;
+    gc.robustness.stale_ttl = 3;
     const GridBncl engine(gc);
 
     const Scenario scenario = build_scenario(cfg);

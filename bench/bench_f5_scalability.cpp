@@ -48,7 +48,8 @@ int main() {
 
   BenchJson bj("F5", bc);
   for (const auto& entry : suite) {
-    AsciiTable t({"nodes", "mean/R", "coverage", "ms/run", "msgs/node"});
+    AsciiTable t({"nodes", "mean/R", "coverage", "ms/run", "wall ms/tr",
+                  "msgs/node"});
     for (std::size_t n : sizes) {
       ScenarioConfig cfg = base;
       cfg.node_count = n;
@@ -66,7 +67,8 @@ int main() {
       bj.add(row, "nodes=" + std::to_string(n));
       t.add_row(std::to_string(n),
                 {row.error.mean, row.coverage, row.seconds * 1e3,
-                 row.msgs_per_node}, 3);
+                 per_item_ms(row.wall_seconds, trials), row.msgs_per_node},
+                3);
     }
     std::printf("series %s\n", entry.label);
     t.print(std::cout);

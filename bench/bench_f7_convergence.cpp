@@ -24,8 +24,8 @@ std::vector<double> error_trace(const ScenarioConfig& base,
     cfg.prior_quality = quality;
     const Scenario s = build_scenario(cfg);
     GridBnclConfig gc;
-    gc.max_iterations = iterations;
-    gc.convergence_tol = 0.0;  // run the full trace
+    gc.iteration.max_iterations = iterations;
+    gc.iteration.convergence_tol = 0.0;  // run the full trace
     gc.damping = damping;
     gc.schedule = schedule;
     gc.observer = [&](std::size_t iter,

@@ -22,8 +22,8 @@ int main() {
   AsciiTable t({"iterations", "mean/R", "msgs/node", "kB/node"});
   for (std::size_t iters : {1UL, 2UL, 4UL, 8UL, 16UL, 24UL}) {
     GridBnclConfig gc;
-    gc.max_iterations = iters;
-    gc.convergence_tol = 0.0;  // spend the full budget
+    gc.iteration.max_iterations = iters;
+    gc.iteration.convergence_tol = 0.0;  // spend the full budget
     const GridBncl engine(gc);
     const AggregateRow row = run_algorithm(engine, base, bc.trials);
     bj.add(row, "iters=" + std::to_string(iters));

@@ -185,8 +185,8 @@ void BM_GridBnclIteration(benchmark::State& state) {
   cfg.seed = 9;
   const Scenario s = build_scenario(cfg);
   GridBnclConfig gc;
-  gc.max_iterations = 4;
-  gc.convergence_tol = 0.0;
+  gc.iteration.max_iterations = 4;
+  gc.iteration.convergence_tol = 0.0;
   const GridBncl engine(gc);
   for (auto _ : state) {
     Rng rng(1);

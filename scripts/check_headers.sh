@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Header self-containment check: compile every public header under src/
+# standalone. Catches headers that only build because the umbrella header
+# (or a lucky include order) pulled in their missing dependencies first.
+# Exits nonzero listing every offender, not just the first.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-g++}"
+failures=0
+for header in $(find src -name '*.hpp' | sort); do
+  # Compile a one-line TU that includes the header (rather than the header
+  # as a main file, which would warn on every `#pragma once`).
+  if ! printf '#include "%s"\n' "${header#src/}" |
+      "$CXX" -std=c++20 -Wall -Wextra -fsyntax-only -I src -x c++ -; then
+    echo "not self-contained: $header"
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures header(s) failed the self-containment check"
+  exit 1
+fi
+echo "all headers self-contained"

@@ -21,6 +21,7 @@
 #include "baselines/mdsmap.hpp"
 #include "baselines/minmax.hpp"
 #include "baselines/refinement.hpp"
+#include "core/engine_config.hpp"
 #include "core/gaussian_bncl.hpp"
 #include "core/grid_bncl.hpp"
 #include "core/localizer.hpp"
@@ -31,6 +32,7 @@
 #include "deploy/scenario.hpp"
 #include "eval/crlb.hpp"
 #include "eval/experiment.hpp"
+#include "eval/export.hpp"
 #include "eval/metrics.hpp"
 #include "fault/anchor_vetting.hpp"
 #include "fault/fault.hpp"
@@ -40,6 +42,7 @@
 #include "graph/adjacency.hpp"
 #include "graph/shortest_path.hpp"
 #include "inference/grid_belief.hpp"
+#include "inference/kernel_cache.hpp"
 #include "inference/particle_set.hpp"
 #include "net/comm_stats.hpp"
 #include "obs/registry.hpp"
@@ -47,7 +50,6 @@
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "prior/prior.hpp"
-#include "eval/export.hpp"
 #include "radio/connectivity.hpp"
 #include "radio/ranging.hpp"
 #include "radio/rssi.hpp"
@@ -57,3 +59,4 @@
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "support/version.hpp"

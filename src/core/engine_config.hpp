@@ -1,0 +1,52 @@
+// Shared configuration blocks embedded in every BNCL engine config.
+//
+// The three engines (grid / particle / gaussian) grew the same robustness
+// and iteration knobs independently; this header is the single definition
+// both of the fields and of their semantics. Engine configs embed these
+// structs by value (`config.robustness.stale_ttl`, ...), overriding the
+// defaults that differ per engine with designated initializers, so adding a
+// knob here adds it to every engine at once.
+#pragma once
+
+#include <cstddef>
+
+namespace bnloc {
+
+/// Fault countermeasures (F13). All off by default; every field is a no-op
+/// on a fault-free scenario, so enabling the engines' robust variants never
+/// changes clean-scenario behavior.
+struct RobustnessConfig {
+  /// Use a robust range likelihood so a single NLOS outlier link cannot
+  /// veto the true position. Grid and particle engines mix the nominal
+  /// density with a one-sided exponential NLOS tail (ε-contamination,
+  /// parameterized below); the Gaussian engine applies the analogous
+  /// Huber/IRLS residual downweighting (GaussianBnclConfig::huber_k).
+  bool robust_likelihood = false;
+  /// ε-contamination mixture weight of the NLOS tail (grid/particle).
+  double contamination_epsilon = 0.1;
+  /// NLOS tail scale as a multiple of the radio range (grid/particle).
+  double contamination_tail_scale = 1.5;
+  /// Residual-vet reported anchor positions (fault/anchor_vetting.hpp);
+  /// flagged anchors are demoted to wide-prior unknowns instead of pinning
+  /// their neighborhood to a lie.
+  bool anchor_vetting = false;
+  /// Drop a neighbor's last-received summary after this many consecutive
+  /// undelivered rounds, so dead neighbors decay out of the posterior
+  /// instead of freezing it. 0 disables (the non-robust behavior).
+  std::size_t stale_ttl = 0;
+};
+
+/// Outer-loop iteration and link-layer knobs shared by every engine.
+struct IterationConfig {
+  /// Hard cap on belief-propagation rounds.
+  std::size_t max_iterations = 24;
+  /// Early-stop threshold on the per-round change statistic. The statistic
+  /// is engine-specific (documented at each engine config): mean belief
+  /// total-variation change for the grid engine, mean estimate motion as a
+  /// fraction of the radio range for the particle and Gaussian engines.
+  double convergence_tol = 0.01;
+  /// Independent per-reception packet drop probability in [0, 1).
+  double packet_loss = 0.0;
+};
+
+}  // namespace bnloc

@@ -32,7 +32,7 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
   std::vector<unsigned char> acts_anchor(n, 0);
   for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
   std::size_t anchors_demoted = 0;
-  if (config_.anchor_vetting) {
+  if (config_.robustness.anchor_vetting) {
     const AnchorVetReport vet = vet_anchors(scenario);
     for (std::size_t i = 0; i < n; ++i)
       if (scenario.is_anchor[i] && vet.flagged[i]) {
@@ -70,7 +70,7 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
   // Published snapshots (cur/prev) model broadcast + possible loss.
   std::vector<Gaussian2> cur_pub = belief, prev_pub = belief;
 
-  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10),
+  SyncRadio radio(scenario.graph, config_.iteration.packet_loss, rng.split(0x5ad10),
                   scenario.faults.death_round);
   // A Gaussian summary is mean + covariance: 5 floats = 20 bytes.
   constexpr std::size_t kPayloadBytes = 20;
@@ -81,13 +81,13 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
   for (std::size_t i = 0; i < n; ++i)
     slot_offset[i + 1] = slot_offset[i] + scenario.graph.degree(i);
   std::vector<std::size_t> last_heard(
-      config_.stale_ttl > 0 ? slot_offset[n] : 0, 0);
+      config_.robustness.stale_ttl > 0 ? slot_offset[n] : 0, 0);
 
   std::vector<Gaussian2> staged = belief;
   std::vector<std::optional<Vec2>> traced_estimates;  // tracing only
   obs::PhaseTimer rounds_timer("gauss.rounds");
   std::size_t iter = 0;
-  for (; iter < config_.max_iterations; ++iter) {
+  for (; iter < config_.iteration.max_iterations; ++iter) {
     radio.begin_round();
     std::size_t huber_downweighted = 0;
     for (std::size_t u = 0; u < n; ++u) {
@@ -108,16 +108,16 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
       for (std::size_t k = 0; k < nbs.size(); ++k) {
         const Neighbor& nb = nbs[k];
         const bool fresh = radio.delivered(nb.node, i);
-        if (config_.stale_ttl > 0) {
+        if (config_.robustness.stale_ttl > 0) {
           std::size_t& heard = last_heard[slot_offset[i] + k];
           if (fresh) heard = iter + 1;
           // Neighbor silent beyond the TTL: presumed dead, link dropped.
-          else if (iter + 1 - heard > config_.stale_ttl)
+          else if (iter + 1 - heard > config_.robustness.stale_ttl)
             continue;
         }
         const Gaussian2& src = fresh ? cur_pub[nb.node] : prev_pub[nb.node];
         double sigma = scenario.radio.ranging.sigma_at(nb.weight);
-        if (config_.robust) {
+        if (config_.robustness.robust_likelihood) {
           // Huber/IRLS: beyond k sigmas, weight w = k*sigma/|r| — realized
           // here by inflating the observation noise by 1/sqrt(w).
           const double residual =
@@ -154,13 +154,13 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
       obs::RobustActivity robust;
       robust.links_downweighted = huber_downweighted;
       robust.stale_links = obs::stale_link_count(last_heard, iter + 1,
-                                                 config_.stale_ttl);
+                                                 config_.robustness.stale_ttl);
       robust.anchors_demoted = anchors_demoted;
       robust.crashed_nodes = radio.crashed_count();
       obs::record_round(scenario, iter + 1, mean_motion, traced_estimates,
                         radio.stats(), robust);
     }
-    if (max_motion < config_.convergence_tol && iter >= 2) {
+    if (max_motion < config_.iteration.convergence_tol && iter >= 2) {
       result.converged = true;
       ++iter;
       break;

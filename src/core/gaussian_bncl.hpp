@@ -9,30 +9,25 @@
 // gap the grid/particle engines close (T1, T10).
 #pragma once
 
+#include "core/engine_config.hpp"
 #include "core/localizer.hpp"
 
 namespace bnloc {
 
 struct GaussianBnclConfig {
-  std::size_t max_iterations = 40;
+  /// Shared outer-loop knobs. `convergence_tol` here is the *max* mean
+  /// motion per round as a fraction of the radio range.
+  IterationConfig iteration{.max_iterations = 40, .convergence_tol = 0.002};
   double damping = 0.5;           ///< mean-update damping in [0, 1).
-  double convergence_tol = 0.002;  ///< stop when mean motion (fraction of
-                                   ///< radio range) drops below.
   double anchor_sigma = 1e-4;     ///< anchor belief stddev (exactness).
-  double packet_loss = 0.0;
 
-  // --- Robustness countermeasures (F13; all off by default) ---------------
-  /// Huber-style residual downweighting: a range residual beyond
-  /// `huber_k` sigmas has its observation noise inflated so one NLOS
-  /// outlier cannot drag the linearized update (IRLS weight w = k*sigma/|r|).
-  bool robust = false;
-  double huber_k = 1.5;
-  /// Residual-vet reported anchor positions; flagged anchors get a wide
-  /// belief and are re-estimated like unknowns.
-  bool anchor_vetting = false;
-  /// Ignore a neighbor's last-received belief after this many consecutive
-  /// undelivered rounds (dead neighbors decay out). 0 disables.
-  std::size_t stale_ttl = 0;
+  /// Fault countermeasures (F13); see core/engine_config.hpp. For this
+  /// engine `robust_likelihood` selects Huber-style residual downweighting:
+  /// a range residual beyond `huber_k` sigmas has its observation noise
+  /// inflated so one NLOS outlier cannot drag the linearized update (IRLS
+  /// weight w = k*sigma/|r|). The ε-contamination fields are unused here.
+  RobustnessConfig robustness;
+  double huber_k = 1.5;  ///< Huber gate width, in sigmas.
 };
 
 class GaussianBncl final : public Localizer {
@@ -40,7 +35,8 @@ class GaussianBncl final : public Localizer {
   explicit GaussianBncl(GaussianBnclConfig config = {});
 
   [[nodiscard]] std::string name() const override {
-    return config_.robust ? "bncl-gauss-robust" : "bncl-gauss";
+    return config_.robustness.robust_likelihood ? "bncl-gauss-robust"
+                                                : "bncl-gauss";
   }
   [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
                                             Rng& rng) const override;

@@ -6,6 +6,7 @@
 
 #include "fault/anchor_vetting.hpp"
 #include "inference/grid_belief.hpp"
+#include "inference/kernel_cache.hpp"
 #include "inference/range_kernel.hpp"
 #include "net/sync_radio.hpp"
 #include "obs/telemetry.hpp"
@@ -24,7 +25,7 @@ GridBncl::GridBncl(GridBnclConfig config) : config_(std::move(config)) {
 std::string GridBncl::name() const {
   std::string name =
       config_.use_negative_evidence ? "bncl-grid" : "bncl-grid-noneg";
-  if (config_.robust_likelihood) name += "-robust";
+  if (config_.robustness.robust_likelihood) name += "-robust";
   return name;
 }
 
@@ -76,7 +77,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
   std::vector<PriorPtr> demoted_prior(n);
   std::size_t anchors_demoted = 0;
-  if (config_.anchor_vetting) {
+  if (config_.robustness.anchor_vetting) {
     const AnchorVetReport vet = vet_anchors(scenario);
     for (std::size_t i = 0; i < n; ++i) {
       if (!scenario.is_anchor[i] || !vet.flagged[i]) continue;
@@ -87,47 +88,75 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
     }
   }
   const RangingSpec ranging =
-      config_.robust_likelihood
-          ? scenario.radio.ranging.contaminated(config_.contamination_epsilon,
-                                                config_.contamination_tail_scale)
+      config_.robustness.robust_likelihood
+          ? scenario.radio.ranging.contaminated(
+                config_.robustness.contamination_epsilon,
+                config_.robustness.contamination_tail_scale)
           : scenario.radio.ranging;
 
-  // --- Belief state ------------------------------------------------------
-  std::vector<GridBelief> belief;
-  belief.reserve(n);
-  std::vector<GridBelief> prior_grid;  // cached prior rasterization
-  prior_grid.reserve(n);
+  // --- Belief state -------------------------------------------------------
+  // Flat SoA arenas: node i's mass is a contiguous slice of one buffer per
+  // role (current / staged / prior / last-published), not its own vector.
+  const GridShape shape{scenario.field, side};
+  const std::size_t cells = shape.cell_count();
+  BeliefStore belief(shape, n);
+  BeliefStore prior_grid(shape, n);  // cached prior rasterization
   for (std::size_t i = 0; i < n; ++i) {
-    GridBelief b(scenario.field, side);
-    GridBelief p(scenario.field, side);
     if (acts_anchor[i]) {
-      b.set_delta(scenario.anchor_position(i));
-      p.set_delta(scenario.anchor_position(i));
+      beliefops::set_delta(shape, prior_grid[i], scenario.anchor_position(i));
     } else {
-      p.set_from_prior(demoted_prior[i] ? *demoted_prior[i]
-                                        : *scenario.priors[i]);
-      b = p;
+      beliefops::set_from_prior(
+          shape, prior_grid[i],
+          demoted_prior[i] ? *demoted_prior[i] : *scenario.priors[i]);
     }
-    belief.push_back(std::move(b));
-    prior_grid.push_back(std::move(p));
+    copy_belief(prior_grid[i], belief[i]);
   }
-  std::vector<GridBelief> staged = belief;  // Jacobi double buffer
+  BeliefStore staged(shape, n);  // Jacobi double buffer
+  for (std::size_t i = 0; i < n; ++i) copy_belief(belief[i], staged[i]);
 
-  // --- Published summaries (the "network state") -------------------------
+  // --- Published summaries (the "network state") --------------------------
+  // Each node's published summary carries a version (a global publish
+  // sequence number): receivers key cached incoming messages on it, so a
+  // summary that did not change between rounds never pays for the same
+  // kernel correlation twice.
   std::vector<SparseBelief> cur_pub(n), prev_pub(n);
-  std::vector<GridBelief> last_pub_dense(n, GridBelief(scenario.field, side));
+  std::vector<std::uint64_t> cur_ver(n, 0), prev_ver(n, 0);
+  std::uint64_t pub_seq = 0;
+  BeliefStore last_pub_dense(shape, n);
   std::vector<unsigned char> ever_published(n, 0);
 
-  // --- Precomputed kernels per directed CSR slot -------------------------
+  // --- Precomputed kernels per directed CSR slot --------------------------
   std::vector<std::size_t> kernel_offset(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i)
     kernel_offset[i + 1] = kernel_offset[i] + scenario.graph.degree(i);
-  std::vector<RangeKernel> kernels;
-  kernels.reserve(kernel_offset[n]);
-  const GridBelief& shape = belief.front();
-  for (std::size_t i = 0; i < n; ++i)
-    for (const Neighbor& nb : scenario.graph.neighbors(i))
-      kernels.push_back(RangeKernel::make_range(nb.weight, ranging, shape));
+  const std::size_t n_links = kernel_offset[n];
+
+  // Kernels are pure functions of the measured distance (the spec and shape
+  // are fixed for the run), so the cache shares one kernel across symmetric
+  // link directions and coincident measurements; receivers that act as
+  // anchors never consume theirs and are skipped outright.
+  std::optional<KernelCache> kcache;
+  std::vector<RangeKernel> owned_kernels;
+  std::vector<const RangeKernel*> link_kernel(n_links, nullptr);
+  if (config_.cache_kernels) {
+    kcache.emplace(ranging, shape);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (acts_anchor[i]) continue;
+      const auto nbs = scenario.graph.neighbors(i);
+      for (std::size_t k = 0; k < nbs.size(); ++k)
+        link_kernel[kernel_offset[i] + k] = kcache->range(nbs[k].weight);
+    }
+    obs::count("grid.kernels.built", kcache->stats().built);
+    obs::count("grid.kernels.shared", kcache->stats().shared);
+  } else {
+    owned_kernels.reserve(n_links);
+    for (std::size_t i = 0; i < n; ++i)
+      for (const Neighbor& nb : scenario.graph.neighbors(i))
+        owned_kernels.push_back(
+            RangeKernel::make_range(nb.weight, ranging, shape));
+    for (std::size_t s = 0; s < n_links; ++s) link_kernel[s] = &owned_kernels[s];
+    obs::count("grid.kernels.built", n_links);
+  }
 
   const RangeKernel conn_kernel =
       config_.use_negative_evidence
@@ -137,22 +166,68 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       config_.use_negative_evidence
           ? two_hop_nonlinks(scenario, config_.negative_max_pairs)
           : std::vector<std::vector<std::size_t>>();
+  std::vector<std::size_t> nl_offset(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    nl_offset[i + 1] = nl_offset[i] + (nonlinks.empty() ? 0 : nonlinks[i].size());
+  const std::size_t n_nonlinks = nl_offset[n];
 
-  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10),
-                  scenario.faults.death_round);
-  const bool always_publish = config_.packet_loss > 0.0;
+  // --- Message reuse slots -------------------------------------------------
+  // One dense buffer per directed link / non-link, holding the last message
+  // computed for it and the summary version it came from. A message is a
+  // pure function of (kernel, summary), so replaying the stored copy is
+  // bit-identical to recomputing it. Degrades to recompute when the
+  // footprint would blow the configured budget.
+  bool reuse = config_.reuse_messages;
+  if (reuse) {
+    const std::size_t bytes = (n_links + n_nonlinks) * cells * sizeof(double);
+    if (bytes > config_.message_cache_mb * std::size_t{1024} * 1024)
+      reuse = false;
+  }
+  std::optional<BeliefStore> msg_store;
+  std::vector<std::uint64_t> msg_ver;   // version cached per slot; 0 = none
+  std::vector<unsigned char> msg_skip;  // cached "message had no support"
+  if (reuse) {
+    msg_store.emplace(shape, n_links + n_nonlinks);
+    msg_ver.assign(n_links + n_nonlinks, 0);
+    msg_skip.assign(n_links + n_nonlinks, 0);
+  }
+
+  // Whole-product reuse: a node whose *every* input is unchanged since its
+  // last recompute (same summary versions, same delivery/TTL outcomes)
+  // would rebuild the exact same pre-damping message product — so that
+  // product is kept per node and replayed outright, skipping the whole
+  // message loop. Cheap (one extra belief per node) so not under the slot
+  // budget; in late rounds, when rebroadcast suppression quiets most of the
+  // network, this collapses the round cost to a copy + damping per node.
+  const bool reuse_products = config_.reuse_messages;
+  // Per-input-slot signature of what the last recompute consumed: the
+  // summary version used, or the marker for "contributed nothing" (TTL).
+  constexpr std::uint64_t kSigTtlSkip = ~std::uint64_t{0};
+  std::optional<BeliefStore> product;
+  std::vector<unsigned char> have_product;
+  std::vector<std::uint64_t> in_sig;
+  if (reuse_products) {
+    product.emplace(shape, n);
+    have_product.assign(n, 0);
+    in_sig.assign(n_links + n_nonlinks, kSigTtlSkip - 1);
+  }
+
+  SyncRadio radio(scenario.graph, config_.iteration.packet_loss,
+                  rng.split(0x5ad10), scenario.faults.death_round);
+  const bool always_publish = config_.iteration.packet_loss > 0.0;
   // Round a neighbor's summary was last delivered, per directed CSR slot
   // (receiver-side); drives the stale-belief TTL.
-  std::vector<std::size_t> last_heard(config_.stale_ttl > 0 ? kernel_offset[n]
-                                                            : 0,
-                                      0);
+  std::vector<std::size_t> last_heard(
+      config_.robustness.stale_ttl > 0 ? n_links : 0, 0);
 
-  std::vector<double> msg(side * side);
+  std::vector<double> msg(cells);
+  SparseBelief sp_scratch;
+  std::vector<std::uint32_t> order_scratch;
   // Per-node parallelism pilot: the Jacobi update phase is independent
   // across nodes within a round (each node reads the round-start published
-  // summaries and writes only its own staged belief and last_heard slots),
-  // so it splits across a pool. Gauss-Seidel is order-dependent and keeps
-  // the serial path regardless of config_.threads.
+  // summaries and writes only its own staged belief, message slots, and
+  // last_heard entries), so it splits across a pool. Gauss-Seidel is
+  // order-dependent and keeps the serial path regardless of config_.threads.
   const bool parallel_update = config_.threads != 1 &&
                                config_.schedule == UpdateSchedule::jacobi &&
                                n > 1;
@@ -162,12 +237,17 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   // convergence trace is bit-identical at any thread count; negative means
   // the node did not update this round (anchor or crashed).
   std::vector<double> node_change(n, -1.0);
-  const auto emit_estimates = [&](std::vector<GridBelief>& beliefs) {
+  // Per-node message counters, summed serially after the sweep so the hot
+  // loop takes no telemetry lock.
+  std::vector<std::uint32_t> node_msgs_computed(n, 0), node_msgs_reused(n, 0);
+  std::vector<std::uint32_t> node_prods_reused(n, 0);
+  const auto emit_estimates = [&]() {
     for (std::size_t i = 0; i < n; ++i) {
       if (scenario.is_anchor[i]) continue;
-      result.estimates[i] = config_.map_estimate ? beliefs[i].argmax()
-                                                 : beliefs[i].mean();
-      result.covariances[i] = beliefs[i].covariance();
+      result.estimates[i] = config_.map_estimate
+                                ? beliefops::argmax(shape, belief[i])
+                                : beliefops::mean(shape, belief[i]);
+      result.covariances[i] = beliefops::covariance(shape, belief[i]);
     }
   };
 
@@ -176,7 +256,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   // --- Iterations ---------------------------------------------------------
   obs::PhaseTimer rounds_timer("grid.rounds");
   std::size_t iter = 0;
-  for (; iter < config_.max_iterations; ++iter) {
+  for (; iter < config_.iteration.max_iterations; ++iter) {
     radio.begin_round();
 
     // Publish phase: decide who broadcasts this round. A crashed node's
@@ -184,25 +264,28 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
     // using the copy they last received (until the TTL retires it).
     for (std::size_t u = 0; u < n; ++u) {
       if (radio.crashed(u)) continue;
-      SparseBelief sp =
-          belief[u].sparsify(config_.support_mass, config_.max_support_cells);
+      // Quiet-node short circuit: once a node has published (and nothing
+      // forces re-broadcast), the decision reduces to the re-broadcast TV
+      // gate — evaluated first so a silent node never pays for the
+      // sparsify. Decision-equivalent to gating on informativeness first:
+      // either way a quiet node does not publish.
+      if (ever_published[u] && !always_publish &&
+          beliefops::total_variation(belief[u], last_pub_dense[u]) <=
+              config_.rebroadcast_tol)
+        continue;
+      beliefops::sparsify_into(belief[u], config_.support_mass,
+                               config_.max_support_cells, sp_scratch,
+                               order_scratch);
       const bool informative =
           acts_anchor[u] ||
-          sp.covered_fraction >= config_.informative_coverage;
+          sp_scratch.covered_fraction >= config_.informative_coverage;
       if (!informative) continue;
-      bool publish;
-      if (!ever_published[u]) {
-        publish = true;
-      } else if (always_publish) {
-        publish = true;
-      } else {
-        publish = belief[u].total_variation(last_pub_dense[u]) >
-                  config_.rebroadcast_tol;
-      }
-      if (!publish) continue;
-      prev_pub[u] = ever_published[u] ? cur_pub[u] : sp;
-      cur_pub[u] = std::move(sp);
-      last_pub_dense[u] = belief[u];
+      const std::uint64_t ver = ++pub_seq;
+      prev_pub[u] = ever_published[u] ? cur_pub[u] : sp_scratch;
+      prev_ver[u] = ever_published[u] ? cur_ver[u] : ver;
+      cur_pub[u] = std::move(sp_scratch);
+      cur_ver[u] = ver;
+      copy_belief(belief[u], last_pub_dense[u]);
       ever_published[u] = 1;
       radio.record_broadcast(u, cur_pub[u].payload_bytes());
     }
@@ -214,67 +297,170 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
     // immediately so later nodes in the round already see it.
     const bool gauss_seidel =
         config_.schedule == UpdateSchedule::gauss_seidel;
+    // Gauss-Seidel commit: later nodes in the sweep already see this node's
+    // updated belief and summary (a centralized sweep has no extra
+    // broadcast; traffic is not re-metered). The version bump keeps
+    // downstream message caches honest. Serial schedule only.
+    const auto commit_gs = [&](std::size_t i, std::span<const double> next) {
+      copy_belief(next, belief[i]);
+      beliefops::sparsify_into(belief[i], config_.support_mass,
+                               config_.max_support_cells, sp_scratch,
+                               order_scratch);
+      if (sp_scratch.covered_fraction >= config_.informative_coverage) {
+        cur_pub[i] = std::move(sp_scratch);
+        cur_ver[i] = ++pub_seq;
+        ever_published[i] = 1;
+      }
+    };
     const auto update_node = [&](std::size_t i, std::vector<double>& scratch) {
       if (acts_anchor[i]) return;
       if (radio.crashed(i)) return;  // dead nodes stop computing too
-      GridBelief& next = staged[i];
-      next = prior_grid[i];
+      const std::span<double> next = staged[i];
       const auto nbs = scenario.graph.neighbors(i);
+
+      // Pre-pass: fold this round's inputs into the per-slot signatures
+      // (doing the TTL bookkeeping; the main loop's repeat of it is
+      // idempotent). If every signature is unchanged, the cached product
+      // is exact and the message loop is skipped entirely.
+      bool static_inputs = false;
+      if (reuse_products) {
+        static_inputs = have_product[i] != 0;
+        for (std::size_t k = 0; k < nbs.size(); ++k) {
+          const std::size_t j = nbs[k].node;
+          const std::size_t slot = kernel_offset[i] + k;
+          const bool fresh = radio.delivered(j, i);
+          std::uint64_t sig = fresh ? cur_ver[j] : prev_ver[j];
+          if (config_.robustness.stale_ttl > 0) {
+            std::size_t& heard = last_heard[slot];
+            if (fresh) heard = iter + 1;
+            else if (iter + 1 - heard > config_.robustness.stale_ttl)
+              sig = kSigTtlSkip;
+          }
+          if (in_sig[slot] != sig) {
+            in_sig[slot] = sig;
+            static_inputs = false;
+          }
+        }
+        if (config_.use_negative_evidence) {
+          const auto& nls = nonlinks[i];
+          for (std::size_t k = 0; k < nls.size(); ++k) {
+            const std::size_t far = nls[k];
+            const std::size_t slot = n_links + nl_offset[i] + k;
+            // The coverage gate depends only on the summary, so the version
+            // alone identifies the contribution; a crash only matters when
+            // the TTL retires frozen summaries.
+            std::uint64_t sig = cur_ver[far];
+            if (config_.robustness.stale_ttl > 0 && radio.crashed(far))
+              sig = kSigTtlSkip;
+            if (in_sig[slot] != sig) {
+              in_sig[slot] = sig;
+              static_inputs = false;
+            }
+          }
+        }
+      }
+      if (static_inputs) {
+        ++node_prods_reused[i];
+        copy_belief((*product)[i], next);
+        beliefops::mix(next, belief[i], config_.damping);
+        node_change[i] = beliefops::total_variation(next, belief[i]);
+        if (gauss_seidel) commit_gs(i, next);
+        return;
+      }
+
+      copy_belief(prior_grid[i], next);
       for (std::size_t k = 0; k < nbs.size(); ++k) {
         const std::size_t j = nbs[k].node;
+        const std::size_t slot = kernel_offset[i] + k;
         const bool fresh = radio.delivered(j, i);
-        if (config_.stale_ttl > 0) {
-          std::size_t& heard = last_heard[kernel_offset[i] + k];
+        if (config_.robustness.stale_ttl > 0) {
+          std::size_t& heard = last_heard[slot];
           if (fresh) heard = iter + 1;
           // Undelivered for longer than the TTL: the neighbor is presumed
           // dead and its stale summary decays out of the product.
-          else if (iter + 1 - heard > config_.stale_ttl)
+          else if (iter + 1 - heard > config_.robustness.stale_ttl)
             continue;
         }
         const SparseBelief& src = fresh ? cur_pub[j] : prev_pub[j];
         if (src.empty()) continue;
-        std::fill(scratch.begin(), scratch.end(), 0.0);
-        kernels[kernel_offset[i] + k].accumulate(src, scratch, side);
-        const double peak = *std::max_element(scratch.begin(), scratch.end());
-        if (peak <= 0.0) continue;
-        for (double& v : scratch) v /= peak;
-        next.multiply(scratch, config_.message_floor);
+        if (reuse) {
+          const std::uint64_t ver = fresh ? cur_ver[j] : prev_ver[j];
+          const std::span<double> cached = (*msg_store)[slot];
+          if (msg_ver[slot] == ver) {
+            ++node_msgs_reused[i];
+            if (!msg_skip[slot])
+              beliefops::multiply(next, cached, config_.message_floor);
+            continue;
+          }
+          const double peak = link_kernel[slot]->correlate(src, cached, side);
+          msg_ver[slot] = ver;
+          ++node_msgs_computed[i];
+          if (peak <= 0.0) {
+            msg_skip[slot] = 1;
+            continue;
+          }
+          msg_skip[slot] = 0;
+          beliefops::multiply(next, cached, config_.message_floor);
+        } else {
+          const double peak = link_kernel[slot]->correlate(src, scratch, side);
+          ++node_msgs_computed[i];
+          if (peak <= 0.0) continue;
+          beliefops::multiply(next, scratch, config_.message_floor);
+        }
       }
       if (config_.use_negative_evidence) {
-        for (std::size_t far : nonlinks[i]) {
+        const auto& nls = nonlinks[i];
+        for (std::size_t k = 0; k < nls.size(); ++k) {
+          const std::size_t far = nls[k];
           // With a TTL active, a dead node's frozen summary stops being
           // usable as non-link evidence as well.
-          if (config_.stale_ttl > 0 && radio.crashed(far)) continue;
+          if (config_.robustness.stale_ttl > 0 && radio.crashed(far)) continue;
           const SparseBelief& src = cur_pub[far];
           // Negative evidence only pays off against a concentrated belief.
           if (src.empty() || src.covered_fraction < 0.9) continue;
-          std::fill(scratch.begin(), scratch.end(), 0.0);
-          conn_kernel.accumulate(src, scratch, side);
-          // m(x) = 1 - P(link | x): cap at 1 (kernel overlap can exceed it
-          // slightly on coarse grids).
-          for (double& v : scratch) v = std::max(0.0, 1.0 - std::min(v, 1.0));
-          next.multiply(scratch, config_.message_floor);
+          if (reuse) {
+            const std::size_t slot = n_links + nl_offset[i] + k;
+            const std::span<double> cached = (*msg_store)[slot];
+            if (msg_ver[slot] == cur_ver[far]) {
+              ++node_msgs_reused[i];
+              beliefops::multiply(next, cached, config_.message_floor);
+              continue;
+            }
+            std::fill(cached.begin(), cached.end(), 0.0);
+            conn_kernel.accumulate(src, cached, side);
+            // m(x) = 1 - P(link | x): cap at 1 (kernel overlap can exceed
+            // it slightly on coarse grids).
+            for (double& v : cached)
+              v = std::max(0.0, 1.0 - std::min(v, 1.0));
+            msg_ver[slot] = cur_ver[far];
+            ++node_msgs_computed[i];
+            beliefops::multiply(next, cached, config_.message_floor);
+          } else {
+            std::fill(scratch.begin(), scratch.end(), 0.0);
+            conn_kernel.accumulate(src, scratch, side);
+            for (double& v : scratch)
+              v = std::max(0.0, 1.0 - std::min(v, 1.0));
+            ++node_msgs_computed[i];
+            beliefops::multiply(next, scratch, config_.message_floor);
+          }
         }
       }
-      next.mix_with(belief[i], config_.damping);
-      node_change[i] = next.total_variation(belief[i]);
-      if (gauss_seidel) {
-        belief[i] = next;
-        // Refresh the visible summary in place (a centralized sweep has no
-        // extra broadcast; traffic is not re-metered here).
-        SparseBelief sp = belief[i].sparsify(config_.support_mass,
-                                             config_.max_support_cells);
-        if (sp.covered_fraction >= config_.informative_coverage) {
-          cur_pub[i] = std::move(sp);
-          ever_published[i] = 1;
-        }
+      if (reuse_products) {
+        copy_belief(next, (*product)[i]);  // pre-damping: replayable as-is
+        have_product[i] = 1;
       }
+      beliefops::mix(next, belief[i], config_.damping);
+      node_change[i] = beliefops::total_variation(next, belief[i]);
+      if (gauss_seidel) commit_gs(i, next);
     };
 
     std::fill(node_change.begin(), node_change.end(), -1.0);
+    std::fill(node_msgs_computed.begin(), node_msgs_computed.end(), 0U);
+    std::fill(node_msgs_reused.begin(), node_msgs_reused.end(), 0U);
+    std::fill(node_prods_reused.begin(), node_prods_reused.end(), 0U);
     if (pool && !gauss_seidel) {
       parallel_for_chunks(*pool, n, [&](std::size_t begin, std::size_t end) {
-        std::vector<double> scratch(side * side);
+        std::vector<double> scratch(cells);
         for (std::size_t i = begin; i < end; ++i) update_node(i, scratch);
       });
     } else {
@@ -283,33 +469,42 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
 
     double sum_change = 0.0;
     std::size_t changed_nodes = 0;
+    std::uint64_t msgs_computed = 0, msgs_reused = 0, prods_reused = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (node_change[i] < 0.0) continue;
-      sum_change += node_change[i];
-      ++changed_nodes;
+      if (node_change[i] >= 0.0) {
+        sum_change += node_change[i];
+        ++changed_nodes;
+      }
+      msgs_computed += node_msgs_computed[i];
+      msgs_reused += node_msgs_reused[i];
+      prods_reused += node_prods_reused[i];
     }
+    obs::count("grid.messages.computed", msgs_computed);
+    obs::count("grid.messages.reused", msgs_reused);
+    obs::count("grid.products.reused", prods_reused);
     if (!gauss_seidel)
       for (std::size_t i = 0; i < n; ++i)
-        if (!acts_anchor[i] && !radio.crashed(i)) belief[i] = staged[i];
+        if (!acts_anchor[i] && !radio.crashed(i))
+          copy_belief(staged[i], belief[i]);
 
     const double mean_change =
         changed_nodes ? sum_change / static_cast<double>(changed_nodes) : 0.0;
     result.change_per_iteration.push_back(mean_change);
     if (config_.observer) {
-      emit_estimates(belief);
+      emit_estimates();
       config_.observer(iter + 1, result.estimates);
     }
     if (tracing) {
-      emit_estimates(belief);
+      emit_estimates();
       obs::RobustActivity robust;
       robust.anchors_demoted = anchors_demoted;
       robust.stale_links = obs::stale_link_count(last_heard, iter + 1,
-                                                 config_.stale_ttl);
+                                                 config_.robustness.stale_ttl);
       robust.crashed_nodes = radio.crashed_count();
       obs::record_round(scenario, iter + 1, mean_change, result.estimates,
                         radio.stats(), robust);
     }
-    if (mean_change < config_.convergence_tol && iter >= 2) {
+    if (mean_change < config_.iteration.convergence_tol && iter >= 2) {
       result.converged = true;
       ++iter;
       break;
@@ -318,7 +513,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   rounds_timer.stop();
   obs::count(result.converged ? "grid.converged" : "grid.maxed_out");
 
-  emit_estimates(belief);
+  emit_estimates();
   result.iterations = iter;
   result.comm = radio.stats();
   result.seconds = watch.seconds();

@@ -27,6 +27,7 @@
 #include <optional>
 #include <span>
 
+#include "core/engine_config.hpp"
 #include "core/localizer.hpp"
 
 namespace bnloc {
@@ -43,11 +44,11 @@ enum class UpdateSchedule {
 struct GridBnclConfig {
   std::size_t grid_side = 48;       ///< cells per field side.
   UpdateSchedule schedule = UpdateSchedule::jacobi;
-  std::size_t max_iterations = 24;
+  /// Shared outer-loop knobs. `convergence_tol` here is the *mean* belief
+  /// total-variation change per round (estimates plateau earlier than
+  /// individual beliefs settle).
+  IterationConfig iteration{.max_iterations = 24, .convergence_tol = 0.01};
   double damping = 0.3;             ///< linear belief damping in [0, 1).
-  double convergence_tol = 0.01;    ///< stop when *mean* TV change drops
-                                    ///< below (estimates plateau earlier
-                                    ///< than individual beliefs settle).
   double message_floor = 1e-4;      ///< additive floor per message (peak 1).
   double support_mass = 0.995;      ///< belief mass a broadcast targets.
   std::size_t max_support_cells = 192;  ///< payload cap per broadcast.
@@ -63,25 +64,29 @@ struct GridBnclConfig {
   /// the single largest tail-error reduction in the engine (see F12).
   bool use_negative_evidence = true;
   std::size_t negative_max_pairs = 12;  ///< non-link factors per node cap.
-  double packet_loss = 0.0;         ///< per-reception drop probability.
   bool map_estimate = false;        ///< MAP cell instead of MMSE mean.
 
-  // --- Robustness countermeasures (F13; all off by default, and no-ops on
-  // --- a fault-free scenario) --------------------------------------------
-  /// Use an ε-contamination range likelihood (nominal density mixed with a
-  /// one-sided exponential NLOS tail) so a single outlier link cannot veto
-  /// the true position cell.
-  bool robust_likelihood = false;
-  double contamination_epsilon = 0.1;
-  double contamination_tail_scale = 1.5;
-  /// Residual-vet the reported anchor positions (fault/anchor_vetting.hpp);
-  /// flagged anchors are demoted to wide-prior unknowns instead of pinning
-  /// their neighborhood to a lie.
-  bool anchor_vetting = false;
-  /// Drop a neighbor's last-received summary after this many consecutive
-  /// undelivered rounds, so dead neighbors decay out of the posterior
-  /// instead of freezing it. 0 disables (the non-robust behavior).
-  std::size_t stale_ttl = 0;
+  /// Fault countermeasures (F13); see core/engine_config.hpp. For this
+  /// engine `robust_likelihood` selects the ε-contamination range
+  /// likelihood (nominal density mixed with a one-sided exponential NLOS
+  /// tail) so a single outlier link cannot veto the true position cell.
+  RobustnessConfig robustness;
+
+  // --- Fast-path controls (PR4). All bit-identity-preserving: they change
+  // --- wall-clock and memory only, never a single output bit. ------------
+  /// Memoize annulus kernels on the exact measured distance and share them
+  /// across links, nodes, and iterations (inference/kernel_cache.hpp). The
+  /// symmetric link measurements alone halve kernel construction.
+  bool cache_kernels = true;
+  /// Reuse a link's incoming message verbatim while the sender's published
+  /// summary is unchanged (rebroadcast suppression already tracks this) —
+  /// the message is a pure function of (kernel, summary), so recomputing it
+  /// every round is wasted work. Costs one dense grid per directed link.
+  bool reuse_messages = true;
+  /// Upper bound on the message-reuse buffers; when a scenario's
+  /// links × cells footprint exceeds it, reuse silently degrades to
+  /// recompute (correct, just slower) instead of ballooning memory.
+  std::size_t message_cache_mb = 256;
 
   /// Worker threads for the per-node belief update within a round (the
   /// per-node parallelism pilot, F14 part B). Jacobi only: nodes are

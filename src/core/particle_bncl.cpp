@@ -37,7 +37,7 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   for (std::size_t i = 0; i < n; ++i) acts_anchor[i] = scenario.is_anchor[i];
   std::vector<PriorPtr> demoted_prior(n);
   std::size_t anchors_demoted = 0;
-  if (config_.anchor_vetting) {
+  if (config_.robustness.anchor_vetting) {
     const AnchorVetReport vet = vet_anchors(scenario);
     for (std::size_t i = 0; i < n; ++i) {
       if (!scenario.is_anchor[i] || !vet.flagged[i]) continue;
@@ -51,9 +51,9 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     return demoted_prior[i] ? *demoted_prior[i] : *scenario.priors[i];
   };
   const RangingSpec ranging =
-      config_.robust_likelihood
-          ? scenario.radio.ranging.contaminated(config_.contamination_epsilon,
-                                                config_.contamination_tail_scale)
+      config_.robustness.robust_likelihood
+          ? scenario.radio.ranging.contaminated(config_.robustness.contamination_epsilon,
+                                                config_.robustness.contamination_tail_scale)
           : scenario.radio.ranging;
 
   Rng init_rng = rng.split(0x9a111);
@@ -73,7 +73,7 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   std::vector<double> cur_spread(n, 1e30), prev_spread(n, 1e30);
   const double spread_gate = config_.informative_spread * scenario.radio.range;
 
-  SyncRadio radio(scenario.graph, config_.packet_loss, rng.split(0x5ad10),
+  SyncRadio radio(scenario.graph, config_.iteration.packet_loss, rng.split(0x5ad10),
                   scenario.faults.death_round);
   Rng work_rng = rng.split(0x40c);
 
@@ -83,7 +83,7 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   for (std::size_t i = 0; i < n; ++i)
     slot_offset[i + 1] = slot_offset[i] + scenario.graph.degree(i);
   std::vector<std::size_t> last_heard(
-      config_.stale_ttl > 0 ? slot_offset[n] : 0, 0);
+      config_.robustness.stale_ttl > 0 ? slot_offset[n] : 0, 0);
 
   std::vector<Vec2> prev_mean(n);
   for (std::size_t i = 0; i < n; ++i) prev_mean[i] = belief[i].mean();
@@ -93,7 +93,7 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   setup_timer.stop();
   obs::PhaseTimer rounds_timer("particle.rounds");
   std::size_t iter = 0;
-  for (; iter < config_.max_iterations; ++iter) {
+  for (; iter < config_.iteration.max_iterations; ++iter) {
     radio.begin_round();
 
     // Publish: every node broadcasts a subsample of its cloud each round
@@ -119,11 +119,11 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
         [&](std::size_t from, std::size_t to,
             std::size_t k) -> const std::vector<Vec2>* {
       const bool fresh = radio.delivered(from, to);
-      if (config_.stale_ttl > 0) {
+      if (config_.robustness.stale_ttl > 0) {
         std::size_t& heard = last_heard[slot_offset[to] + k];
         if (fresh) heard = iter + 1;
         // Neighbor silent beyond the TTL: presumed dead, cloud retired.
-        else if (iter + 1 - heard > config_.stale_ttl)
+        else if (iter + 1 - heard > config_.robustness.stale_ttl)
           return nullptr;
       }
       const std::vector<Vec2>& cloud = fresh ? cur_pub[from] : prev_pub[from];
@@ -202,13 +202,13 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
         if (!scenario.is_anchor[i]) traced_estimates[i] = prev_mean[i];
       obs::RobustActivity robust;
       robust.stale_links = obs::stale_link_count(last_heard, iter + 1,
-                                                 config_.stale_ttl);
+                                                 config_.robustness.stale_ttl);
       robust.anchors_demoted = anchors_demoted;
       robust.crashed_nodes = radio.crashed_count();
       obs::record_round(scenario, iter + 1, avg_motion, traced_estimates,
                         radio.stats(), robust);
     }
-    if (avg_motion < config_.convergence_tol && iter >= 2) {
+    if (avg_motion < config_.iteration.convergence_tol && iter >= 2) {
       result.converged = true;
       ++iter;
       break;

@@ -13,6 +13,7 @@
 // (documented approximation, also used in published SPAWN implementations).
 #pragma once
 
+#include "core/engine_config.hpp"
 #include "core/localizer.hpp"
 
 namespace bnloc {
@@ -20,31 +21,23 @@ namespace bnloc {
 struct ParticleBnclConfig {
   std::size_t particle_count = 128;  ///< K particles per node.
   std::size_t message_subsample = 24;  ///< M neighbor particles per message.
-  std::size_t max_iterations = 16;
+  /// Shared outer-loop knobs. `convergence_tol` here is the mean estimate
+  /// movement per round as a fraction of the radio range.
+  IterationConfig iteration{.max_iterations = 16, .convergence_tol = 0.01};
   double prior_refresh_fraction = 0.15;  ///< particles re-drawn from prior.
   double ring_refresh_fraction = 0.25;   ///< particles drawn on range rings.
-  double convergence_tol = 0.01;  ///< stop when mean estimate movement
-                                  ///< (fraction of radio range) drops below.
   /// Ignore messages from neighbors whose published cloud has RMS spread
   /// above this many radio ranges: a near-uniform cloud carries no
   /// information, only Monte-Carlo noise, and multiplying several such
   /// noisy factors randomizes the weights (the particle analogue of the
   /// grid engine's informative-coverage gate).
   double informative_spread = 1.5;
-  double packet_loss = 0.0;
 
-  // --- Robustness countermeasures (F13; all off by default) ---------------
-  /// Use an ε-contamination range likelihood in the particle reweighting so
-  /// an NLOS outlier link cannot zero the particles near the true position.
-  bool robust_likelihood = false;
-  double contamination_epsilon = 0.1;
-  double contamination_tail_scale = 1.5;
-  /// Residual-vet reported anchor positions; flagged anchors get a
-  /// radio-range-wide cloud and are re-estimated like unknowns.
-  bool anchor_vetting = false;
-  /// Ignore a neighbor's last-received cloud after this many consecutive
-  /// undelivered rounds (dead neighbors decay out). 0 disables.
-  std::size_t stale_ttl = 0;
+  /// Fault countermeasures (F13); see core/engine_config.hpp. For this
+  /// engine `robust_likelihood` selects the ε-contamination range
+  /// likelihood in the particle reweighting so an NLOS outlier link cannot
+  /// zero the particles near the true position.
+  RobustnessConfig robustness;
 };
 
 class ParticleBncl final : public Localizer {
@@ -52,8 +45,8 @@ class ParticleBncl final : public Localizer {
   explicit ParticleBncl(ParticleBnclConfig config = {});
 
   [[nodiscard]] std::string name() const override {
-    return config_.robust_likelihood ? "bncl-particle-robust"
-                                     : "bncl-particle";
+    return config_.robustness.robust_likelihood ? "bncl-particle-robust"
+                                                : "bncl-particle";
   }
   [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
                                             Rng& rng) const override;

@@ -8,157 +8,194 @@
 
 namespace bnloc {
 
-GridBelief::GridBelief(const Aabb& field, std::size_t cells_per_side)
-    : field_(field),
-      side_(cells_per_side),
-      cell_size_(field.width() / static_cast<double>(cells_per_side)),
-      mass_(cells_per_side * cells_per_side, 0.0) {
-  BNLOC_ASSERT(cells_per_side >= 2, "grid needs at least 2x2 cells");
-  set_uniform();
+Vec2 GridShape::cell_center(std::size_t cell) const noexcept {
+  const std::size_t cx = cell % side;
+  const std::size_t cy = cell / side;
+  return {field.lo.x + (static_cast<double>(cx) + 0.5) * cell_width(),
+          field.lo.y + (static_cast<double>(cy) + 0.5) * cell_height()};
 }
 
-Vec2 GridBelief::cell_center(std::size_t cell) const noexcept {
-  const std::size_t cx = cell % side_;
-  const std::size_t cy = cell / side_;
-  const double sy = field_.height() / static_cast<double>(side_);
-  return {field_.lo.x + (static_cast<double>(cx) + 0.5) * cell_size_,
-          field_.lo.y + (static_cast<double>(cy) + 0.5) * sy};
+std::size_t GridShape::cell_at(Vec2 p) const noexcept {
+  const Vec2 q = field.clamp(p);
+  auto cx = static_cast<std::size_t>((q.x - field.lo.x) / cell_width());
+  auto cy = static_cast<std::size_t>((q.y - field.lo.y) / cell_height());
+  cx = std::min(cx, side - 1);
+  cy = std::min(cy, side - 1);
+  return cy * side + cx;
 }
 
-std::size_t GridBelief::cell_at(Vec2 p) const noexcept {
-  const Vec2 q = field_.clamp(p);
-  const double sy = field_.height() / static_cast<double>(side_);
-  auto cx = static_cast<std::size_t>((q.x - field_.lo.x) / cell_size_);
-  auto cy = static_cast<std::size_t>((q.y - field_.lo.y) / sy);
-  cx = std::min(cx, side_ - 1);
-  cy = std::min(cy, side_ - 1);
-  return cy * side_ + cx;
+namespace beliefops {
+
+void set_uniform(std::span<double> mass) noexcept {
+  const double v = 1.0 / static_cast<double>(mass.size());
+  std::fill(mass.begin(), mass.end(), v);
 }
 
-void GridBelief::set_uniform() noexcept {
-  const double v = 1.0 / static_cast<double>(mass_.size());
-  std::fill(mass_.begin(), mass_.end(), v);
-}
-
-void GridBelief::set_from_prior(const PositionPrior& prior) {
+void set_from_prior(const GridShape& shape, std::span<double> mass,
+                    const PositionPrior& prior) {
+  BNLOC_ASSERT(mass.size() == shape.cell_count(), "mass buffer shape mismatch");
   double total = 0.0;
-  for (std::size_t c = 0; c < mass_.size(); ++c) {
-    mass_[c] = prior.density(cell_center(c));
-    total += mass_[c];
+  for (std::size_t c = 0; c < mass.size(); ++c) {
+    mass[c] = prior.density(shape.cell_center(c));
+    total += mass[c];
   }
   if (total <= 0.0) {
     // Prior mass entirely outside the field (e.g. heavily biased prior):
     // fall back to uniform rather than producing an invalid belief.
-    set_uniform();
+    set_uniform(mass);
     return;
   }
-  for (double& m : mass_) m /= total;
+  for (double& m : mass) m /= total;
 }
 
-void GridBelief::set_delta(Vec2 p) noexcept {
-  std::fill(mass_.begin(), mass_.end(), 0.0);
-  mass_[cell_at(p)] = 1.0;
+void set_delta(const GridShape& shape, std::span<double> mass,
+               Vec2 p) noexcept {
+  std::fill(mass.begin(), mass.end(), 0.0);
+  mass[shape.cell_at(p)] = 1.0;
 }
 
-void GridBelief::multiply(std::span<const double> factor, double floor) {
-  BNLOC_ASSERT(factor.size() == mass_.size(), "factor grid shape mismatch");
+void multiply(std::span<double> mass, std::span<const double> factor,
+              double floor) {
+  BNLOC_ASSERT(factor.size() == mass.size(), "factor grid shape mismatch");
   double total = 0.0;
-  for (std::size_t c = 0; c < mass_.size(); ++c) {
-    mass_[c] *= factor[c] + floor;
-    total += mass_[c];
+  for (std::size_t c = 0; c < mass.size(); ++c) {
+    mass[c] *= factor[c] + floor;
+    total += mass[c];
   }
   if (total <= 0.0) {
-    set_uniform();
+    set_uniform(mass);
     return;
   }
-  for (double& m : mass_) m /= total;
+  for (double& m : mass) m /= total;
 }
 
-void GridBelief::mix_with(const GridBelief& previous, double lambda) noexcept {
-  for (std::size_t c = 0; c < mass_.size(); ++c)
-    mass_[c] = (1.0 - lambda) * mass_[c] + lambda * previous.mass_[c];
+void mix(std::span<double> mass, std::span<const double> previous,
+         double lambda) noexcept {
+  for (std::size_t c = 0; c < mass.size(); ++c)
+    mass[c] = (1.0 - lambda) * mass[c] + lambda * previous[c];
 }
 
-void GridBelief::normalize() noexcept {
-  const double total = std::accumulate(mass_.begin(), mass_.end(), 0.0);
+double peak(std::span<const double> mass) noexcept {
+  // Four independent max chains so the reduction vectorizes. Unlike a sum,
+  // a max is exact under any association, so this returns the bit-same
+  // value as a linear std::max_element scan over a non-negative buffer.
+  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
+  std::size_t c = 0;
+  for (; c + 4 <= mass.size(); c += 4) {
+    m0 = std::max(m0, mass[c]);
+    m1 = std::max(m1, mass[c + 1]);
+    m2 = std::max(m2, mass[c + 2]);
+    m3 = std::max(m3, mass[c + 3]);
+  }
+  for (; c < mass.size(); ++c) m0 = std::max(m0, mass[c]);
+  return std::max(std::max(m0, m1), std::max(m2, m3));
+}
+
+void normalize(std::span<double> mass) noexcept {
+  const double total = std::accumulate(mass.begin(), mass.end(), 0.0);
   if (total <= 0.0) {
-    set_uniform();
+    set_uniform(mass);
     return;
   }
-  for (double& m : mass_) m /= total;
+  for (double& m : mass) m /= total;
 }
 
-Vec2 GridBelief::mean() const noexcept {
+Vec2 mean(const GridShape& shape, std::span<const double> mass) noexcept {
   Vec2 m{};
-  for (std::size_t c = 0; c < mass_.size(); ++c)
-    m += cell_center(c) * mass_[c];
+  for (std::size_t c = 0; c < mass.size(); ++c)
+    m += shape.cell_center(c) * mass[c];
   return m;
 }
 
-Cov2 GridBelief::covariance() const noexcept {
-  const Vec2 mu = mean();
+Cov2 covariance(const GridShape& shape,
+                std::span<const double> mass) noexcept {
+  const Vec2 mu = mean(shape, mass);
   Cov2 cov{};
-  for (std::size_t c = 0; c < mass_.size(); ++c) {
-    const Vec2 d = cell_center(c) - mu;
-    cov.xx += mass_[c] * d.x * d.x;
-    cov.xy += mass_[c] * d.x * d.y;
-    cov.yy += mass_[c] * d.y * d.y;
+  for (std::size_t c = 0; c < mass.size(); ++c) {
+    const Vec2 d = shape.cell_center(c) - mu;
+    cov.xx += mass[c] * d.x * d.x;
+    cov.xy += mass[c] * d.x * d.y;
+    cov.yy += mass[c] * d.y * d.y;
   }
   // Within-cell variance: a cell is a uniform patch, not a point.
-  const double sy = field_.height() / static_cast<double>(side_);
-  cov.xx += cell_size_ * cell_size_ / 12.0;
+  const double sx = shape.cell_width();
+  const double sy = shape.cell_height();
+  cov.xx += sx * sx / 12.0;
   cov.yy += sy * sy / 12.0;
   return cov;
 }
 
-Vec2 GridBelief::argmax() const noexcept {
-  const auto it = std::max_element(mass_.begin(), mass_.end());
-  return cell_center(static_cast<std::size_t>(it - mass_.begin()));
+Vec2 argmax(const GridShape& shape, std::span<const double> mass) noexcept {
+  const auto it = std::max_element(mass.begin(), mass.end());
+  return shape.cell_center(static_cast<std::size_t>(it - mass.begin()));
 }
 
-double GridBelief::entropy() const noexcept {
+double entropy(std::span<const double> mass) noexcept {
   double h = 0.0;
-  for (double m : mass_)
+  for (double m : mass)
     if (m > 0.0) h -= m * std::log(m);
   return h;
 }
 
-double GridBelief::total_variation(const GridBelief& other) const {
-  BNLOC_ASSERT(mass_.size() == other.mass_.size(),
+double total_variation(std::span<const double> a, std::span<const double> b) {
+  BNLOC_ASSERT(a.size() == b.size(),
                "total variation needs same-shape beliefs");
   double l1 = 0.0;
-  for (std::size_t c = 0; c < mass_.size(); ++c)
-    l1 += std::abs(mass_[c] - other.mass_[c]);
+  for (std::size_t c = 0; c < a.size(); ++c) l1 += std::abs(a[c] - b[c]);
   return 0.5 * l1;
 }
 
-SparseBelief GridBelief::sparsify(double mass_fraction,
-                                  std::size_t max_cells) const {
+void sparsify_into(std::span<const double> mass, double mass_fraction,
+                   std::size_t max_cells, SparseBelief& out,
+                   std::vector<std::uint32_t>& order_scratch) {
   BNLOC_ASSERT(mass_fraction > 0.0 && mass_fraction <= 1.0,
                "mass fraction out of range");
   // Partial selection: cells sorted by descending mass until the target
   // fraction (or the cap) is reached.
-  std::vector<std::uint32_t> order(mass_.size());
-  std::iota(order.begin(), order.end(), 0U);
-  const std::size_t keep_at_most = std::min(max_cells, mass_.size());
-  std::partial_sort(order.begin(),
-                    order.begin() + static_cast<std::ptrdiff_t>(keep_at_most),
-                    order.end(), [&](std::uint32_t a, std::uint32_t b) {
-                      return mass_[a] > mass_[b];
-                    });
-  SparseBelief out;
+  order_scratch.resize(mass.size());
+  std::iota(order_scratch.begin(), order_scratch.end(), 0U);
+  const std::size_t keep_at_most = std::min(max_cells, mass.size());
+  std::partial_sort(
+      order_scratch.begin(),
+      order_scratch.begin() + static_cast<std::ptrdiff_t>(keep_at_most),
+      order_scratch.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return mass[a] > mass[b];
+      });
+  out.cells.clear();
+  out.mass.clear();
   double covered = 0.0;
   for (std::size_t k = 0; k < keep_at_most; ++k) {
-    const std::uint32_t cell = order[k];
-    if (mass_[cell] <= 0.0) break;
+    const std::uint32_t cell = order_scratch[k];
+    if (mass[cell] <= 0.0) break;
     out.cells.push_back(cell);
-    covered += mass_[cell];
+    covered += mass[cell];
     if (covered >= mass_fraction) break;
   }
   out.covered_fraction = covered;
   out.mass.resize(out.cells.size());
   for (std::size_t k = 0; k < out.cells.size(); ++k)
-    out.mass[k] = static_cast<float>(mass_[out.cells[k]] / covered);
+    out.mass[k] = static_cast<float>(mass[out.cells[k]] / covered);
+}
+
+}  // namespace beliefops
+
+void copy_belief(std::span<const double> from, std::span<double> to) noexcept {
+  BNLOC_ASSERT(from.size() == to.size(), "belief copy shape mismatch");
+  std::copy(from.begin(), from.end(), to.begin());
+}
+
+GridBelief::GridBelief(const Aabb& field, std::size_t cells_per_side)
+    : shape_{field, cells_per_side},
+      mass_(cells_per_side * cells_per_side, 0.0) {
+  BNLOC_ASSERT(cells_per_side >= 2, "grid needs at least 2x2 cells");
+  set_uniform();
+}
+
+SparseBelief GridBelief::sparsify(double mass_fraction,
+                                  std::size_t max_cells) const {
+  SparseBelief out;
+  std::vector<std::uint32_t> order;
+  beliefops::sparsify_into(mass_, mass_fraction, max_cells, out, order);
   return out;
 }
 

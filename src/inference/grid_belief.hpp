@@ -1,12 +1,24 @@
 // Dense 2-D grid probability mass function over the deployment field.
 //
-// GridBelief is the belief representation of the grid BNCL engine: the field
-// is discretized into cells x cells squares, each holding the probability
-// that the node lies in that cell. All operations keep the mass normalized
-// (sum == 1) unless stated otherwise.
+// Layered in three pieces so the grid engine can run on flat SoA storage
+// while the convenient single-belief class keeps working:
+//
+//  * GridShape — the geometry of a discretization (field rectangle + cells
+//    per side), separated from any storage;
+//  * beliefops — the numeric kernels, free functions over contiguous
+//    `std::span<double>` mass buffers (multiply, damp, moments, sparsify);
+//  * BeliefStore — one flat arena holding many beliefs of the same shape
+//    (node i's mass is a contiguous slice; no per-belief heap allocation);
+//  * GridBelief — the single-belief convenience wrapper (shape + its own
+//    vector), implemented entirely on beliefops so both storage layouts
+//    share one set of bit-identical numerics.
+//
+// All operations keep the mass normalized (sum == 1) unless stated
+// otherwise.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -34,48 +46,181 @@ struct SparseBelief {
   }
 };
 
+/// Geometry of a grid discretization: which field rectangle, how many cells
+/// per side. Cheap value type; every beliefops call that needs coordinates
+/// takes one.
+struct GridShape {
+  Aabb field;
+  std::size_t side = 0;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return side * side;
+  }
+  [[nodiscard]] double cell_width() const noexcept {
+    return field.width() / static_cast<double>(side);
+  }
+  [[nodiscard]] double cell_height() const noexcept {
+    return field.height() / static_cast<double>(side);
+  }
+  [[nodiscard]] Vec2 cell_center(std::size_t cell) const noexcept;
+  [[nodiscard]] std::size_t cell_at(Vec2 p) const noexcept;
+};
+
+/// Numeric kernels over contiguous mass buffers. Every function asserts the
+/// buffer sizes it needs; none allocates (sparsify_into reuses caller
+/// scratch).
+namespace beliefops {
+
+/// Reset to the uniform distribution.
+void set_uniform(std::span<double> mass) noexcept;
+/// Rasterize a prior (density at cell centers, then normalize).
+void set_from_prior(const GridShape& shape, std::span<double> mass,
+                    const PositionPrior& prior);
+/// All mass in the cell containing p (anchor delta).
+void set_delta(const GridShape& shape, std::span<double> mass,
+               Vec2 p) noexcept;
+
+/// Pointwise multiply by a non-negative factor grid (same shape), with an
+/// additive floor that prevents conflicting evidence from zeroing the
+/// belief; renormalizes. `factor` need not be normalized.
+void multiply(std::span<double> mass, std::span<const double> factor,
+              double floor);
+
+/// Linear damping: mass = (1-lambda)*mass + lambda*previous.
+void mix(std::span<double> mass, std::span<const double> previous,
+         double lambda) noexcept;
+
+void normalize(std::span<double> mass) noexcept;
+
+[[nodiscard]] Vec2 mean(const GridShape& shape,
+                        std::span<const double> mass) noexcept;
+[[nodiscard]] Cov2 covariance(const GridShape& shape,
+                              std::span<const double> mass) noexcept;
+/// Center of the highest-mass cell (the MAP estimate at grid resolution).
+[[nodiscard]] Vec2 argmax(const GridShape& shape,
+                          std::span<const double> mass) noexcept;
+/// Shannon entropy in nats; uniform gives log(cell_count).
+[[nodiscard]] double entropy(std::span<const double> mass) noexcept;
+/// Half L1 distance between two beliefs (total variation), in [0, 1].
+[[nodiscard]] double total_variation(std::span<const double> a,
+                                     std::span<const double> b);
+
+/// Top cells covering `mass_fraction` of probability, capped at
+/// `max_cells`; mass renormalized over the kept cells. Writes into `out`
+/// (cleared first, capacity reused) and uses `order_scratch` for the
+/// partial sort — the allocation-free form the engine's publish loop runs
+/// every round.
+void sparsify_into(std::span<const double> mass, double mass_fraction,
+                   std::size_t max_cells, SparseBelief& out,
+                   std::vector<std::uint32_t>& order_scratch);
+
+/// Maximum entry of a non-negative buffer (0 for an empty or all-zero
+/// one). Bit-equal to a std::max_element scan — max is exact under any
+/// association — but laid out as independent chains so it vectorizes.
+double peak(std::span<const double> mass) noexcept;
+
+}  // namespace beliefops
+
+/// Flat SoA arena for `count` same-shape beliefs: one contiguous buffer,
+/// belief i at [i*cells, (i+1)*cells). The grid engine keeps its four
+/// per-node belief sets (current, staged, prior, last-published) in stores
+/// instead of vectors of GridBelief, so a 200-node run touches four
+/// allocations instead of eight hundred.
+class BeliefStore {
+ public:
+  BeliefStore(const GridShape& shape, std::size_t count)
+      : shape_(shape),
+        cells_(shape.cell_count()),
+        data_(count * shape.cell_count(), 0.0) {}
+
+  [[nodiscard]] const GridShape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t count() const noexcept {
+    return cells_ ? data_.size() / cells_ : 0;
+  }
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+
+  [[nodiscard]] std::span<double> operator[](std::size_t i) noexcept {
+    return {data_.data() + i * cells_, cells_};
+  }
+  [[nodiscard]] std::span<const double> operator[](
+      std::size_t i) const noexcept {
+    return {data_.data() + i * cells_, cells_};
+  }
+
+ private:
+  GridShape shape_;
+  std::size_t cells_;
+  std::vector<double> data_;
+};
+
+/// Copy one belief slice onto another (any mix of stores/spans).
+void copy_belief(std::span<const double> from, std::span<double> to) noexcept;
+
 class GridBelief {
  public:
   GridBelief(const Aabb& field, std::size_t cells_per_side);
 
-  [[nodiscard]] std::size_t side() const noexcept { return side_; }
+  [[nodiscard]] std::size_t side() const noexcept { return shape_.side; }
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return mass_.size();
   }
-  [[nodiscard]] const Aabb& field() const noexcept { return field_; }
-  [[nodiscard]] double cell_size() const noexcept { return cell_size_; }
+  [[nodiscard]] const Aabb& field() const noexcept { return shape_.field; }
+  [[nodiscard]] double cell_size() const noexcept {
+    return shape_.cell_width();
+  }
+  [[nodiscard]] const GridShape& shape() const noexcept { return shape_; }
   [[nodiscard]] std::span<const double> mass() const noexcept {
     return mass_;
   }
 
-  [[nodiscard]] Vec2 cell_center(std::size_t cell) const noexcept;
-  [[nodiscard]] std::size_t cell_at(Vec2 p) const noexcept;
+  [[nodiscard]] Vec2 cell_center(std::size_t cell) const noexcept {
+    return shape_.cell_center(cell);
+  }
+  [[nodiscard]] std::size_t cell_at(Vec2 p) const noexcept {
+    return shape_.cell_at(p);
+  }
 
   /// Reset to the uniform distribution.
-  void set_uniform() noexcept;
+  void set_uniform() noexcept { beliefops::set_uniform(mass_); }
   /// Rasterize a prior (density at cell centers, then normalize).
-  void set_from_prior(const PositionPrior& prior);
+  void set_from_prior(const PositionPrior& prior) {
+    beliefops::set_from_prior(shape_, mass_, prior);
+  }
   /// All mass in the cell containing p (anchor delta).
-  void set_delta(Vec2 p) noexcept;
+  void set_delta(Vec2 p) noexcept { beliefops::set_delta(shape_, mass_, p); }
 
   /// Pointwise multiply by a non-negative factor grid (same shape), with an
   /// additive floor that prevents conflicting evidence from zeroing the
   /// belief; renormalizes. `factor` need not be normalized.
-  void multiply(std::span<const double> factor, double floor);
+  void multiply(std::span<const double> factor, double floor) {
+    beliefops::multiply(mass_, factor, floor);
+  }
 
   /// Linear damping: this = (1-lambda)*this + lambda*previous.
-  void mix_with(const GridBelief& previous, double lambda) noexcept;
+  void mix_with(const GridBelief& previous, double lambda) noexcept {
+    beliefops::mix(mass_, previous.mass_, lambda);
+  }
 
-  void normalize() noexcept;
+  void normalize() noexcept { beliefops::normalize(mass_); }
 
-  [[nodiscard]] Vec2 mean() const noexcept;
-  [[nodiscard]] Cov2 covariance() const noexcept;
+  [[nodiscard]] Vec2 mean() const noexcept {
+    return beliefops::mean(shape_, mass_);
+  }
+  [[nodiscard]] Cov2 covariance() const noexcept {
+    return beliefops::covariance(shape_, mass_);
+  }
   /// Center of the highest-mass cell (the MAP estimate at grid resolution).
-  [[nodiscard]] Vec2 argmax() const noexcept;
+  [[nodiscard]] Vec2 argmax() const noexcept {
+    return beliefops::argmax(shape_, mass_);
+  }
   /// Shannon entropy in nats; uniform gives log(cell_count).
-  [[nodiscard]] double entropy() const noexcept;
+  [[nodiscard]] double entropy() const noexcept {
+    return beliefops::entropy(mass_);
+  }
   /// Half L1 distance to another belief (total variation), in [0, 1].
-  [[nodiscard]] double total_variation(const GridBelief& other) const;
+  [[nodiscard]] double total_variation(const GridBelief& other) const {
+    return beliefops::total_variation(mass_, other.mass_);
+  }
 
   /// Top cells covering `mass_fraction` of probability, capped at
   /// `max_cells`; mass renormalized over the kept cells.
@@ -83,9 +228,7 @@ class GridBelief {
                                       std::size_t max_cells) const;
 
  private:
-  Aabb field_;
-  std::size_t side_;
-  double cell_size_;
+  GridShape shape_;
   std::vector<double> mass_;
 };
 

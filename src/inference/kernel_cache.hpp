@@ -1,0 +1,55 @@
+// Per-run memoization of annulus range kernels.
+//
+// Within one localize() run every link kernel is built from the same
+// RangingSpec, grid shape, and truncation width — the only thing that varies
+// is the measured distance. Links are symmetric (i measures the same d_ij as
+// j), node degrees overlap, and quantized rangers repeat values, so a run of
+// 200 nodes builds far fewer distinct kernels than it has directed links.
+//
+// The cache keys on the *exact* bit pattern of the measured distance
+// (std::bit_cast, no quantization): two links share a kernel only when they
+// would have built bit-identical kernels anyway, so the fast path cannot
+// perturb a single output bit. Kernels live in a deque — addresses stay
+// stable as the cache grows, so callers can hold plain pointers.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "inference/range_kernel.hpp"
+
+namespace bnloc {
+
+class KernelCache {
+ public:
+  /// Fixes the kernel parameters every lookup shares. The spec and shape are
+  /// copied; the cache outliving them is fine.
+  KernelCache(RangingSpec ranging, GridShape shape, double trunc_sigmas = 3.5)
+      : ranging_(std::move(ranging)),
+        shape_(shape),
+        trunc_sigmas_(trunc_sigmas) {}
+
+  /// The annulus kernel for `measured`; built on first sight, shared after.
+  /// The pointer stays valid for the cache's lifetime.
+  const RangeKernel* range(double measured);
+
+  struct Stats {
+    std::size_t built = 0;   ///< distinct kernels constructed.
+    std::size_t shared = 0;  ///< lookups served from the cache.
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return kernels_.size(); }
+
+ private:
+  RangingSpec ranging_;
+  GridShape shape_;
+  double trunc_sigmas_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::deque<RangeKernel> kernels_;  ///< deque: stable addresses.
+  Stats stats_;
+};
+
+}  // namespace bnloc

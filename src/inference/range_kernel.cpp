@@ -1,19 +1,52 @@
 #include "inference/range_kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/assert.hpp"
 
 namespace bnloc {
 
+void RangeKernel::push_stamp(std::int32_t dx, std::int32_t dy,
+                             double weight) {
+  if (!runs_.empty()) {
+    Run& last = runs_.back();
+    if (last.dy == dy && last.dx0 + static_cast<std::int32_t>(last.len) == dx) {
+      ++last.len;
+      weights_.push_back(weight);
+      return;
+    }
+  }
+  runs_.push_back({dy, dx, 1,
+                   static_cast<std::uint32_t>(weights_.size())});
+  weights_.push_back(weight);
+}
+
+void RangeKernel::finalize(std::size_t side) {
+  side_ = static_cast<std::int32_t>(side);
+  flat_off_.clear();
+  flat_off_.reserve(weights_.size());
+  min_dx_ = min_dy_ = 0;
+  max_dx_ = max_dy_ = -1;  // empty kernel: interior test never passes
+  for (const Run& run : runs_) {
+    const auto last = run.dx0 + static_cast<std::int32_t>(run.len) - 1;
+    if (flat_off_.empty() || run.dx0 < min_dx_) min_dx_ = run.dx0;
+    if (flat_off_.empty() || last > max_dx_) max_dx_ = last;
+    if (flat_off_.empty() || run.dy < min_dy_) min_dy_ = run.dy;
+    if (flat_off_.empty() || run.dy > max_dy_) max_dy_ = run.dy;
+    for (std::uint32_t t = 0; t < run.len; ++t)
+      flat_off_.push_back(run.dy * side_ + run.dx0 +
+                          static_cast<std::int32_t>(t));
+  }
+}
+
 RangeKernel RangeKernel::make_range(double measured,
                                     const RangingSpec& ranging,
-                                    const GridBelief& grid_shape,
+                                    const GridShape& shape,
                                     double trunc_sigmas) {
   RangeKernel k;
-  const double sx = grid_shape.cell_size();
-  const double sy =
-      grid_shape.field().height() / static_cast<double>(grid_shape.side());
+  const double sx = shape.cell_width();
+  const double sy = shape.cell_height();
   const double sigma = ranging.sigma_at(measured);
   const double outer = measured + trunc_sigmas * sigma;
   const auto rx = static_cast<std::int32_t>(std::ceil(outer / sx));
@@ -36,24 +69,24 @@ RangeKernel RangeKernel::make_range(double measured,
         continue;
       const double w = ranging.likelihood(measured, r);
       if (w <= 0.0) continue;
-      k.offsets_.push_back({dx, dy, w});
+      k.push_stamp(dx, dy, w);
     }
   }
   // Normalize stamp weights to peak 1 so message magnitudes are comparable
   // across links regardless of noise level.
   double peak = 0.0;
-  for (const Stamp& s : k.offsets_) peak = std::max(peak, s.weight);
+  for (const double w : k.weights_) peak = std::max(peak, w);
   if (peak > 0.0)
-    for (Stamp& s : k.offsets_) s.weight /= peak;
+    for (double& w : k.weights_) w /= peak;
+  k.finalize(shape.side);
   return k;
 }
 
 RangeKernel RangeKernel::make_connectivity(const RadioSpec& radio,
-                                           const GridBelief& grid_shape) {
+                                           const GridShape& shape) {
   RangeKernel k;
-  const double sx = grid_shape.cell_size();
-  const double sy =
-      grid_shape.field().height() / static_cast<double>(grid_shape.side());
+  const double sx = shape.cell_width();
+  const double sy = shape.cell_height();
   const auto rx = static_cast<std::int32_t>(std::ceil(radio.range / sx));
   const auto ry = static_cast<std::int32_t>(std::ceil(radio.range / sy));
   for (std::int32_t dy = -ry; dy <= ry; ++dy) {
@@ -62,9 +95,10 @@ RangeKernel RangeKernel::make_connectivity(const RadioSpec& radio,
                                   static_cast<double>(dy) * sy);
       const double p = radio.link_probability(r);
       if (p <= 0.0) continue;
-      k.offsets_.push_back({dx, dy, p});
+      k.push_stamp(dx, dy, p);
     }
   }
+  k.finalize(shape.side);
   return k;
 }
 
@@ -72,21 +106,84 @@ void RangeKernel::accumulate(const SparseBelief& src, std::span<double> out,
                              std::size_t side) const {
   BNLOC_ASSERT(out.size() == side * side, "output grid shape mismatch");
   const auto s = static_cast<std::int32_t>(side);
+  double* const grid = out.data();
+  const double* const weights = weights_.data();
+  const std::int32_t* const flat = flat_off_.data();
+  const std::size_t stamps = weights_.size();
+  const bool flat_usable = s == side_ && !flat_off_.empty();
   for (std::size_t e = 0; e < src.cells.size(); ++e) {
     const auto cell = src.cells[e];
     const double m = src.mass[e];
     const auto cx = static_cast<std::int32_t>(cell % side);
     const auto cy = static_cast<std::int32_t>(cell / side);
-    for (const Stamp& st : offsets_) {
-      const std::int32_t x = cx + st.dx;
-      const std::int32_t y = cy + st.dy;
-      if (static_cast<std::uint32_t>(x) >= static_cast<std::uint32_t>(s) ||
-          static_cast<std::uint32_t>(y) >= static_cast<std::uint32_t>(s))
+    // Interior fast path: when the whole footprint fits inside the grid no
+    // stamp needs clipping, so the replay collapses to one offset loop in
+    // stamp storage order — the bit-same accumulation without the per-run
+    // border bookkeeping (which dominates: annulus runs average only a few
+    // cells each).
+    if (flat_usable && cx + min_dx_ >= 0 && cx + max_dx_ < s &&
+        cy + min_dy_ >= 0 && cy + max_dy_ < s) {
+      double* const o = grid + cell;
+      for (std::size_t k = 0; k < stamps; ++k) o[flat[k]] += m * weights[k];
+      continue;
+    }
+    for (const Run& run : runs_) {
+      const std::int32_t y = cy + run.dy;
+      if (static_cast<std::uint32_t>(y) >= static_cast<std::uint32_t>(s))
         continue;
-      out[static_cast<std::size_t>(y) * side + static_cast<std::size_t>(x)] +=
-          m * st.weight;
+      // Clip the run against the grid border once; the surviving slice is a
+      // dense axpy the compiler vectorizes.
+      const std::int32_t x0 = cx + run.dx0;
+      const std::int32_t lo = std::max(x0, std::int32_t{0});
+      const std::int32_t hi =
+          std::min(x0 + static_cast<std::int32_t>(run.len), s);
+      if (lo >= hi) continue;
+      const double* w = weights + run.w0 + (lo - x0);
+      double* o = grid + static_cast<std::size_t>(y) * side + lo;
+      const std::int32_t len = hi - lo;
+      for (std::int32_t t = 0; t < len; ++t) o[t] += m * w[t];
     }
   }
+}
+
+double RangeKernel::correlate(const SparseBelief& src, std::span<double> out,
+                              std::size_t side) const {
+  std::fill(out.begin(), out.end(), 0.0);
+  accumulate(src, out, side);
+  if (src.cells.empty() || weights_.empty()) return 0.0;
+  // Bounding box of every touched cell: the summary's cell extent dilated
+  // by the kernel footprint, clipped to the grid. Normalization only needs
+  // to look here — everything outside is an exact zero either way.
+  const auto s = static_cast<std::int32_t>(side);
+  std::int32_t cx_lo = s, cx_hi = -1, cy_lo = s, cy_hi = -1;
+  for (const std::uint32_t cell : src.cells) {
+    const auto cx = static_cast<std::int32_t>(cell % side);
+    const auto cy = static_cast<std::int32_t>(cell / side);
+    cx_lo = std::min(cx_lo, cx);
+    cx_hi = std::max(cx_hi, cx);
+    cy_lo = std::min(cy_lo, cy);
+    cy_hi = std::max(cy_hi, cy);
+  }
+  const std::int32_t x0 = std::max(cx_lo + min_dx_, std::int32_t{0});
+  const std::int32_t x1 = std::min(cx_hi + max_dx_, s - 1);
+  const std::int32_t y0 = std::max(cy_lo + min_dy_, std::int32_t{0});
+  const std::int32_t y1 = std::min(cy_hi + max_dy_, s - 1);
+  if (x0 > x1 || y0 > y1) return 0.0;
+  const auto row_len = static_cast<std::size_t>(x1 - x0 + 1);
+  double peak = 0.0;
+  for (std::int32_t y = y0; y <= y1; ++y)
+    peak = std::max(
+        peak, beliefops::peak(out.subspan(
+                  static_cast<std::size_t>(y) * side +
+                      static_cast<std::size_t>(x0),
+                  row_len)));
+  if (peak <= 0.0) return 0.0;
+  for (std::int32_t y = y0; y <= y1; ++y) {
+    double* const row =
+        out.data() + static_cast<std::size_t>(y) * side + x0;
+    for (std::size_t t = 0; t < row_len; ++t) row[t] /= peak;
+  }
+  return peak;
 }
 
 }  // namespace bnloc

@@ -1,0 +1,24 @@
+// Library version, as a macro (for preprocessor gating) and as a runtime
+// accessor. Kept in sync with the CMake `project(bnloc VERSION ...)` line.
+#pragma once
+
+#define BNLOC_VERSION_MAJOR 1
+#define BNLOC_VERSION_MINOR 0
+#define BNLOC_VERSION_PATCH 0
+
+/// "major.minor.patch" as a string literal.
+#define BNLOC_VERSION "1.0.0"
+
+/// Single integer for ordered comparisons: major*10000 + minor*100 + patch.
+#define BNLOC_VERSION_NUMBER                                  \
+  (BNLOC_VERSION_MAJOR * 10000 + BNLOC_VERSION_MINOR * 100 + \
+   BNLOC_VERSION_PATCH)
+
+namespace bnloc {
+
+/// The version the library was built as, e.g. "1.0.0".
+[[nodiscard]] constexpr const char* version() noexcept {
+  return BNLOC_VERSION;
+}
+
+}  // namespace bnloc

@@ -1,7 +1,9 @@
 // Integration tests for the three BNCL engines (core/).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
 #include "core/gaussian_bncl.hpp"
 #include "core/grid_bncl.hpp"
@@ -109,19 +111,19 @@ TEST_P(EngineSuite, SurvivesPacketLoss) {
   switch (GetParam()) {
     case 0: {
       GridBnclConfig c;
-      c.packet_loss = 0.3;
+      c.iteration.packet_loss = 0.3;
       engine = std::make_unique<GridBncl>(c);
       break;
     }
     case 1: {
       ParticleBnclConfig c;
-      c.packet_loss = 0.3;
+      c.iteration.packet_loss = 0.3;
       engine = std::make_unique<ParticleBncl>(c);
       break;
     }
     default: {
       GaussianBnclConfig c;
-      c.packet_loss = 0.3;
+      c.iteration.packet_loss = 0.3;
       engine = std::make_unique<GaussianBncl>(c);
       break;
     }
@@ -145,8 +147,8 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, EngineSuite, ::testing::Values(0, 1, 2),
 TEST(GridBncl, ObserverSeesEveryIteration) {
   const Scenario s = build_scenario(default_config(31));
   GridBnclConfig cfg;
-  cfg.max_iterations = 6;
-  cfg.convergence_tol = 0.0;  // run all iterations
+  cfg.iteration.max_iterations = 6;
+  cfg.iteration.convergence_tol = 0.0;  // run all iterations
   std::size_t calls = 0;
   cfg.observer = [&](std::size_t iter,
                      std::span<const std::optional<Vec2>> est) {
@@ -268,8 +270,8 @@ TEST(GridBncl, NodeParallelUpdateSurvivesFaultsAndTtl) {
   scfg.faults.outlier_fraction = 0.1;
   const Scenario s = build_scenario(scfg);
   GridBnclConfig serial_cfg, par_cfg;
-  serial_cfg.stale_ttl = 3;
-  par_cfg.stale_ttl = 3;
+  serial_cfg.robustness.stale_ttl = 3;
+  par_cfg.robustness.stale_ttl = 3;
   par_cfg.threads = 4;
   Rng r1(9), r2(9);
   const auto a = GridBncl(serial_cfg).localize(s, r1);
@@ -326,6 +328,76 @@ TEST(GaussianBncl, ConvergesWithPriors) {
   Rng rng(1);
   const auto r = engine.localize(s, rng);
   EXPECT_TRUE(r.converged);
+}
+
+// The fast path (kernel cache + message reuse) must be invisible in the
+// output: every estimate bit-identical with the knobs on and off, across
+// schedules, packet loss, node-parallel updates, and a tiny cache budget
+// that forces the degrade-to-recompute path.
+TEST(GridBncl, FastPathIsBitIdentical) {
+  const auto run = [](const Scenario& s, GridBnclConfig cfg, bool fast) {
+    cfg.cache_kernels = fast;
+    cfg.reuse_messages = fast;
+    Rng rng(9);
+    return GridBncl(cfg).localize(s, rng);
+  };
+  const auto expect_same = [](const LocalizationResult& a,
+                              const LocalizationResult& b) {
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+      ASSERT_EQ(a.estimates[i].has_value(), b.estimates[i].has_value());
+      if (a.estimates[i]) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a.estimates[i]->x),
+                  std::bit_cast<std::uint64_t>(b.estimates[i]->x));
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a.estimates[i]->y),
+                  std::bit_cast<std::uint64_t>(b.estimates[i]->y));
+      }
+    }
+    EXPECT_EQ(a.change_per_iteration, b.change_per_iteration);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.comm.messages_sent, b.comm.messages_sent);
+  };
+
+  const Scenario s = build_scenario(default_config(40));
+  {
+    SCOPED_TRACE("default");
+    expect_same(run(s, {}, true), run(s, {}, false));
+  }
+  {
+    SCOPED_TRACE("packet loss");
+    GridBnclConfig cfg;
+    cfg.iteration.packet_loss = 0.2;
+    expect_same(run(s, cfg, true), run(s, cfg, false));
+  }
+  {
+    SCOPED_TRACE("gauss-seidel");
+    GridBnclConfig cfg;
+    cfg.schedule = UpdateSchedule::gauss_seidel;
+    expect_same(run(s, cfg, true), run(s, cfg, false));
+  }
+  {
+    SCOPED_TRACE("node-parallel");
+    GridBnclConfig cfg;
+    cfg.threads = 4;
+    expect_same(run(s, cfg, true), run(s, cfg, false));
+  }
+  {
+    SCOPED_TRACE("budget forces recompute");
+    GridBnclConfig cfg;
+    cfg.message_cache_mb = 0;  // reuse requested but never affordable
+    expect_same(run(s, cfg, true), run(s, cfg, false));
+  }
+  {
+    SCOPED_TRACE("robustness stack");
+    ScenarioConfig scfg = default_config(41);
+    scfg.faults.crash_fraction = 0.1;
+    scfg.faults.outlier_fraction = 0.15;
+    const Scenario sf = build_scenario(scfg);
+    GridBnclConfig cfg;
+    cfg.robustness.robust_likelihood = true;
+    cfg.robustness.stale_ttl = 3;
+    expect_same(run(sf, cfg, true), run(sf, cfg, false));
+  }
 }
 
 }  // namespace

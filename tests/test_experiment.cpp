@@ -114,7 +114,7 @@ TEST(Experiment, ParallelTrialsBitIdenticalToSerial) {
 TEST(Experiment, ParallelTrialsWithFaultSpecBitIdentical) {
   GridBnclConfig gc;
   gc.grid_side = 16;
-  gc.max_iterations = 6;
+  gc.iteration.max_iterations = 6;
   const GridBncl algo(gc);
   ScenarioConfig cfg = small_config();
   cfg.node_count = 40;

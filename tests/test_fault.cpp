@@ -260,16 +260,16 @@ TEST(RobustEngines, RunOnFullyFaultedScenario) {
   const Scenario s = build_scenario(cfg);
 
   GridBnclConfig gc;
-  gc.robust_likelihood = true;
-  gc.anchor_vetting = true;
-  gc.stale_ttl = 3;
+  gc.robustness.robust_likelihood = true;
+  gc.robustness.anchor_vetting = true;
+  gc.robustness.stale_ttl = 3;
   Rng grid_rng(5);
   const LocalizationResult grid = GridBncl(gc).localize(s, grid_rng);
 
   GaussianBnclConfig xc;
-  xc.robust = true;
-  xc.anchor_vetting = true;
-  xc.stale_ttl = 3;
+  xc.robustness.robust_likelihood = true;
+  xc.robustness.anchor_vetting = true;
+  xc.robustness.stale_ttl = 3;
   Rng gauss_rng(5);
   const LocalizationResult gauss = GaussianBncl(xc).localize(s, gauss_rng);
 

@@ -1,0 +1,102 @@
+// KernelCache (inference/kernel_cache.hpp): exact-key memoization of range
+// kernels, stable addresses, and bit-equality with direct construction.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include "inference/kernel_cache.hpp"
+
+namespace bnloc {
+namespace {
+
+GridShape test_shape() {
+  return {Aabb{{0.0, 0.0}, {1.0, 1.0}}, 48};
+}
+
+RangingSpec test_ranging() {
+  RangingSpec r;
+  r.type = RangingType::log_normal;
+  r.noise_factor = 0.1;
+  r.range = 0.15;
+  return r;
+}
+
+TEST(KernelCache, SharesExactRepeatsOnly) {
+  KernelCache cache(test_ranging(), test_shape());
+  const RangeKernel* a = cache.range(0.1);
+  const RangeKernel* b = cache.range(0.1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(cache.stats().built, 1u);
+  EXPECT_EQ(cache.stats().shared, 1u);
+
+  // One ULP away is a different key: no quantization, ever.
+  const double nudged = std::nextafter(0.1, 1.0);
+  const RangeKernel* c = cache.range(nudged);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(cache.stats().built, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(KernelCache, MatchesDirectConstructionBitForBit) {
+  const GridShape shape = test_shape();
+  const RangingSpec ranging = test_ranging();
+  KernelCache cache(ranging, shape);
+
+  SparseBelief src;
+  src.cells = {0, 517, 1200, 48 * 48 - 1};
+  src.mass = {0.4F, 0.3F, 0.2F, 0.1F};
+
+  for (const double d : {0.03, 0.1, 0.14999}) {
+    const RangeKernel direct = RangeKernel::make_range(d, ranging, shape);
+    const RangeKernel* cached = cache.range(d);
+    ASSERT_EQ(cached->stamp_count(), direct.stamp_count());
+    std::vector<double> out_direct(shape.cell_count(), 0.0);
+    std::vector<double> out_cached(shape.cell_count(), 0.0);
+    direct.accumulate(src, out_direct, shape.side);
+    cached->accumulate(src, out_cached, shape.side);
+    for (std::size_t c = 0; c < out_direct.size(); ++c)
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(out_direct[c]),
+                std::bit_cast<std::uint64_t>(out_cached[c]))
+          << "cell " << c << " at d=" << d;
+  }
+}
+
+TEST(KernelCache, PointersStayValidAsCacheGrows) {
+  KernelCache cache(test_ranging(), test_shape());
+  const RangeKernel* first = cache.range(0.05);
+  const std::size_t first_stamps = first->stamp_count();
+  for (int k = 0; k < 500; ++k)
+    cache.range(0.01 + 0.0002 * static_cast<double>(k));
+  EXPECT_EQ(cache.range(0.05), first);
+  EXPECT_EQ(first->stamp_count(), first_stamps);
+  EXPECT_EQ(cache.size(), cache.stats().built);
+}
+
+// Scanline-run storage must reproduce the naive per-stamp accumulation:
+// replay a kernel against a border-hugging source so runs get clipped on
+// every side, and check mass conservation properties that only hold when
+// clipping is correct.
+TEST(KernelCache, RunClippingStaysInsideGrid) {
+  const GridShape shape = test_shape();
+  const RangeKernel k =
+      RangeKernel::make_range(0.12, test_ranging(), shape);
+  EXPECT_GT(k.stamp_count(), 0u);
+  EXPECT_LE(k.run_count(), k.stamp_count());
+
+  SparseBelief corner;
+  corner.cells = {0};  // bottom-left corner: maximal clipping
+  corner.mass = {1.0F};
+  std::vector<double> out(shape.cell_count(), 0.0);
+  k.accumulate(corner, out, shape.side);
+  double total = 0.0;
+  for (const double v : out) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);  // some of the annulus lands inside
+}
+
+}  // namespace
+}  // namespace bnloc
