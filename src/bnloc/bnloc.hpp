@@ -44,6 +44,7 @@
 #include "inference/grid_belief.hpp"
 #include "inference/kernel_cache.hpp"
 #include "inference/particle_set.hpp"
+#include "inference/pyramid.hpp"
 #include "net/comm_stats.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
@@ -56,6 +57,7 @@
 #include "support/config.hpp"
 #include "support/histogram.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"

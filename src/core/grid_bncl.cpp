@@ -7,6 +7,7 @@
 #include "fault/anchor_vetting.hpp"
 #include "inference/grid_belief.hpp"
 #include "inference/kernel_cache.hpp"
+#include "inference/pyramid.hpp"
 #include "inference/range_kernel.hpp"
 #include "net/sync_radio.hpp"
 #include "obs/telemetry.hpp"
@@ -20,6 +21,10 @@ GridBncl::GridBncl(GridBnclConfig config) : config_(std::move(config)) {
   BNLOC_ASSERT(config_.damping >= 0.0 && config_.damping < 1.0,
                "damping must be in [0, 1)");
   BNLOC_ASSERT(config_.grid_side >= 8, "grid too coarse to be meaningful");
+  BNLOC_ASSERT(config_.pyramid_levels >= 1,
+               "pyramid needs at least one level");
+  BNLOC_ASSERT(config_.pyramid_roi_margin >= 0,
+               "ROI margin cannot be negative");
 }
 
 std::string GridBncl::name() const {
@@ -31,29 +36,59 @@ std::string GridBncl::name() const {
 
 namespace {
 
-/// Two-hop non-neighbor pairs for negative evidence, capped per node.
+/// Cells whose mass is below this fraction of the belief's peak are outside
+/// the pyramid ROI. The message floor keeps every cell positive, so a node
+/// constrained by k >= 2 messages sits at ~floor^k relative mass away from
+/// its blob — below this threshold — while a one-message node (ring belief,
+/// relative background ~1e-4) keeps a near-full ROI, which is exactly the
+/// node whose position is still genuinely uncertain.
+constexpr double kRoiPeakFraction = 1e-6;
+
+/// Pyramid-mode cap on published-summary support cells. The restart at
+/// every level begins with a publish wave of prior-shaped beliefs whose
+/// 0.995-mass support is large (a line-drop prior at grid 96 spans ~170
+/// cells); every receiver replays each summary cell against its kernels,
+/// so those first transitional rounds dominate the level's cost. Capping
+/// the summary at the top cells truncates only the low-mass tail (the
+/// coverage the receiver sees stays well above the informative gate), and
+/// the wave's cost shrinks proportionally. Converged beliefs sparsify far
+/// below the cap, so steady-state traffic and accuracy are untouched.
+/// Single-level runs keep the configured cap — bit-identical behavior.
+constexpr std::size_t kPyramidPublishCap = 64;
+
+
+/// Two-hop non-neighbor pairs for negative evidence, capped per node. Each
+/// node's list is independent of the others, so with a pool the scan splits
+/// across it (per-chunk marker arrays); output is identical either way.
 std::vector<std::vector<std::size_t>> two_hop_nonlinks(const Scenario& s,
-                                                       std::size_t cap) {
+                                                       std::size_t cap,
+                                                       ThreadPool* pool) {
   std::vector<std::vector<std::size_t>> out(s.node_count());
-  std::vector<unsigned char> is_nb(s.node_count(), 0);
-  for (std::size_t i = 0; i < s.node_count(); ++i) {
-    if (s.is_anchor[i]) continue;
-    for (const Neighbor& nb : s.graph.neighbors(i)) is_nb[nb.node] = 1;
-    is_nb[i] = 1;
-    for (const Neighbor& nb : s.graph.neighbors(i)) {
-      for (const Neighbor& nb2 : s.graph.neighbors(nb.node)) {
-        if (is_nb[nb2.node]) continue;
-        is_nb[nb2.node] = 1;  // also dedupes the candidate list
-        out[i].push_back(nb2.node);
+  const auto scan = [&](std::size_t begin, std::size_t end) {
+    std::vector<unsigned char> is_nb(s.node_count(), 0);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (s.is_anchor[i]) continue;
+      for (const Neighbor& nb : s.graph.neighbors(i)) is_nb[nb.node] = 1;
+      is_nb[i] = 1;
+      for (const Neighbor& nb : s.graph.neighbors(i)) {
+        for (const Neighbor& nb2 : s.graph.neighbors(nb.node)) {
+          if (is_nb[nb2.node]) continue;
+          is_nb[nb2.node] = 1;  // also dedupes the candidate list
+          out[i].push_back(nb2.node);
+          if (out[i].size() >= cap) break;
+        }
         if (out[i].size() >= cap) break;
       }
-      if (out[i].size() >= cap) break;
+      // reset marks
+      for (std::size_t v : out[i]) is_nb[v] = 0;
+      for (const Neighbor& nb : s.graph.neighbors(i)) is_nb[nb.node] = 0;
+      is_nb[i] = 0;
     }
-    // reset marks
-    for (std::size_t v : out[i]) is_nb[v] = 0;
-    for (const Neighbor& nb : s.graph.neighbors(i)) is_nb[nb.node] = 0;
-    is_nb[i] = 0;
-  }
+  };
+  if (pool != nullptr)
+    parallel_for_chunks(*pool, s.node_count(), scan);
+  else
+    scan(0, s.node_count());
   return out;
 }
 
@@ -63,7 +98,6 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
                                       Rng& rng) const {
   const Stopwatch watch;
   const std::size_t n = scenario.node_count();
-  const std::size_t side = config_.grid_side;
   LocalizationResult result = make_result_skeleton(scenario);
   const bool tracing = obs::trace_active();
   if (tracing) obs::trace_begin(name());
@@ -94,145 +128,74 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
                 config_.robustness.contamination_tail_scale)
           : scenario.radio.ranging;
 
-  // --- Belief state -------------------------------------------------------
-  // Flat SoA arenas: node i's mass is a contiguous slice of one buffer per
-  // role (current / staged / prior / last-published), not its own vector.
-  const GridShape shape{scenario.field, side};
-  const std::size_t cells = shape.cell_count();
-  BeliefStore belief(shape, n);
-  BeliefStore prior_grid(shape, n);  // cached prior rasterization
-  for (std::size_t i = 0; i < n; ++i) {
-    if (acts_anchor[i]) {
-      beliefops::set_delta(shape, prior_grid[i], scenario.anchor_position(i));
-    } else {
-      beliefops::set_from_prior(
-          shape, prior_grid[i],
-          demoted_prior[i] ? *demoted_prior[i] : *scenario.priors[i]);
-    }
-    copy_belief(prior_grid[i], belief[i]);
-  }
-  BeliefStore staged(shape, n);  // Jacobi double buffer
-  for (std::size_t i = 0; i < n; ++i) copy_belief(belief[i], staged[i]);
+  // --- Resolution ladder --------------------------------------------------
+  // levels == 1 degenerates to the classic single-resolution engine (the
+  // level loop below runs once with a full-grid ROI and no resampling — the
+  // historical code path, bit for bit).
+  const PyramidPlan plan =
+      PyramidPlan::make(config_.grid_side, config_.pyramid_levels);
+  const std::size_t n_levels = plan.levels();
+  obs::count("grid.pyramid.levels", n_levels);
+  const std::size_t pub_cap =
+      n_levels > 1
+          ? std::min<std::size_t>(config_.max_support_cells, kPyramidPublishCap)
+          : config_.max_support_cells;
 
-  // --- Published summaries (the "network state") --------------------------
-  // Each node's published summary carries a version (a global publish
-  // sequence number): receivers key cached incoming messages on it, so a
-  // summary that did not change between rounds never pays for the same
-  // kernel correlation twice.
-  std::vector<SparseBelief> cur_pub(n), prev_pub(n);
-  std::vector<std::uint64_t> cur_ver(n, 0), prev_ver(n, 0);
-  std::uint64_t pub_seq = 0;
-  BeliefStore last_pub_dense(shape, n);
-  std::vector<unsigned char> ever_published(n, 0);
-
-  // --- Precomputed kernels per directed CSR slot --------------------------
+  // --- Graph-shaped precomputes (resolution-independent) ------------------
   std::vector<std::size_t> kernel_offset(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i)
     kernel_offset[i + 1] = kernel_offset[i] + scenario.graph.degree(i);
   const std::size_t n_links = kernel_offset[n];
 
-  // Kernels are pure functions of the measured distance (the spec and shape
-  // are fixed for the run), so the cache shares one kernel across symmetric
-  // link directions and coincident measurements; receivers that act as
-  // anchors never consume theirs and are skipped outright.
-  std::optional<KernelCache> kcache;
-  std::vector<RangeKernel> owned_kernels;
-  std::vector<const RangeKernel*> link_kernel(n_links, nullptr);
-  if (config_.cache_kernels) {
-    kcache.emplace(ranging, shape);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (acts_anchor[i]) continue;
-      const auto nbs = scenario.graph.neighbors(i);
-      for (std::size_t k = 0; k < nbs.size(); ++k)
-        link_kernel[kernel_offset[i] + k] = kcache->range(nbs[k].weight);
-    }
-    obs::count("grid.kernels.built", kcache->stats().built);
-    obs::count("grid.kernels.shared", kcache->stats().shared);
-  } else {
-    owned_kernels.reserve(n_links);
-    for (std::size_t i = 0; i < n; ++i)
-      for (const Neighbor& nb : scenario.graph.neighbors(i))
-        owned_kernels.push_back(
-            RangeKernel::make_range(nb.weight, ranging, shape));
-    for (std::size_t s = 0; s < n_links; ++s) link_kernel[s] = &owned_kernels[s];
-    obs::count("grid.kernels.built", n_links);
-  }
+  // Per-node parallelism pilot: the Jacobi update, the publish phase's
+  // decide/sparsify pass, and the staged→current commit are independent
+  // across nodes within a round, so they split across a pool. Gauss-Seidel
+  // is order-dependent and keeps the serial update path regardless of
+  // config_.threads.
+  const bool parallel_update = config_.threads != 1 &&
+                               config_.schedule == UpdateSchedule::jacobi &&
+                               n > 1;
+  std::optional<ThreadPool> pool;
+  if (parallel_update) pool.emplace(config_.threads);
 
-  const RangeKernel conn_kernel =
-      config_.use_negative_evidence
-          ? RangeKernel::make_connectivity(scenario.radio, shape)
-          : RangeKernel();
   const auto nonlinks =
       config_.use_negative_evidence
-          ? two_hop_nonlinks(scenario, config_.negative_max_pairs)
+          ? two_hop_nonlinks(scenario, config_.negative_max_pairs,
+                             pool ? &*pool : nullptr)
           : std::vector<std::vector<std::size_t>>();
   std::vector<std::size_t> nl_offset(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i)
     nl_offset[i + 1] = nl_offset[i] + (nonlinks.empty() ? 0 : nonlinks[i].size());
   const std::size_t n_nonlinks = nl_offset[n];
 
-  // --- Message reuse slots -------------------------------------------------
-  // One dense buffer per directed link / non-link, holding the last message
-  // computed for it and the summary version it came from. A message is a
-  // pure function of (kernel, summary), so replaying the stored copy is
-  // bit-identical to recomputing it. Degrades to recompute when the
-  // footprint would blow the configured budget.
-  bool reuse = config_.reuse_messages;
-  if (reuse) {
-    const std::size_t bytes = (n_links + n_nonlinks) * cells * sizeof(double);
-    if (bytes > config_.message_cache_mb * std::size_t{1024} * 1024)
-      reuse = false;
-  }
-  std::optional<BeliefStore> msg_store;
-  std::vector<std::uint64_t> msg_ver;   // version cached per slot; 0 = none
-  std::vector<unsigned char> msg_skip;  // cached "message had no support"
-  if (reuse) {
-    msg_store.emplace(shape, n_links + n_nonlinks);
-    msg_ver.assign(n_links + n_nonlinks, 0);
-    msg_skip.assign(n_links + n_nonlinks, 0);
-  }
-
-  // Whole-product reuse: a node whose *every* input is unchanged since its
-  // last recompute (same summary versions, same delivery/TTL outcomes)
-  // would rebuild the exact same pre-damping message product — so that
-  // product is kept per node and replayed outright, skipping the whole
-  // message loop. Cheap (one extra belief per node) so not under the slot
-  // budget; in late rounds, when rebroadcast suppression quiets most of the
-  // network, this collapses the round cost to a copy + damping per node.
-  const bool reuse_products = config_.reuse_messages;
-  // Per-input-slot signature of what the last recompute consumed: the
-  // summary version used, or the marker for "contributed nothing" (TTL).
-  constexpr std::uint64_t kSigTtlSkip = ~std::uint64_t{0};
-  std::optional<BeliefStore> product;
-  std::vector<unsigned char> have_product;
-  std::vector<std::uint64_t> in_sig;
-  if (reuse_products) {
-    product.emplace(shape, n);
-    have_product.assign(n, 0);
-    in_sig.assign(n_links + n_nonlinks, kSigTtlSkip - 1);
-  }
+  // --- Published summaries (the "network state") --------------------------
+  // Each node's published summary carries a version (a global publish
+  // sequence number): receivers key cached incoming messages on it, so a
+  // summary that did not change between rounds never pays for the same
+  // kernel correlation twice. Versions survive level switches (the cell-id
+  // payloads are translated; the messages built from them are not, but the
+  // per-level caches are flushed anyway).
+  std::vector<SparseBelief> cur_pub(n), prev_pub(n);
+  std::vector<std::uint64_t> cur_ver(n, 0), prev_ver(n, 0);
+  std::uint64_t pub_seq = 0;
+  std::vector<unsigned char> ever_published(n, 0);
 
   SyncRadio radio(scenario.graph, config_.iteration.packet_loss,
                   rng.split(0x5ad10), scenario.faults.death_round);
   const bool always_publish = config_.iteration.packet_loss > 0.0;
   // Round a neighbor's summary was last delivered, per directed CSR slot
-  // (receiver-side); drives the stale-belief TTL.
+  // (receiver-side); drives the stale-belief TTL. Indexed by the global
+  // round counter, so it carries across pyramid levels unchanged.
   std::vector<std::size_t> last_heard(
       config_.robustness.stale_ttl > 0 ? n_links : 0, 0);
 
-  std::vector<double> msg(cells);
-  SparseBelief sp_scratch;
-  std::vector<std::uint32_t> order_scratch;
-  // Per-node parallelism pilot: the Jacobi update phase is independent
-  // across nodes within a round (each node reads the round-start published
-  // summaries and writes only its own staged belief, message slots, and
-  // last_heard entries), so it splits across a pool. Gauss-Seidel is
-  // order-dependent and keeps the serial path regardless of config_.threads.
-  const bool parallel_update = config_.threads != 1 &&
-                               config_.schedule == UpdateSchedule::jacobi &&
-                               n > 1;
-  std::optional<ThreadPool> pool;
-  if (parallel_update) pool.emplace(config_.threads);
+  // --- Cross-level belief state -------------------------------------------
+  // The current beliefs and the last-published dense copies carry across
+  // level switches (upsampled); everything else per level is rebuilt.
+  std::optional<BeliefStore> belief_opt, last_pub_opt;
+  std::vector<CellBox> roi(n);
+  GridShape cur_shape{scenario.field, plan.sides.front()};
+
   // Per-node TV change, folded in node order after the sweep so the
   // convergence trace is bit-identical at any thread count; negative means
   // the node did not update this round (anchor or crashed).
@@ -241,274 +204,548 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   // loop takes no telemetry lock.
   std::vector<std::uint32_t> node_msgs_computed(n, 0), node_msgs_reused(n, 0);
   std::vector<std::uint32_t> node_prods_reused(n, 0);
+  // Publish-phase two-pass state: pass 1 fills each node's candidate
+  // summary in parallel; pass 2 commits versions and metered traffic
+  // serially in node order (bit-identical at any thread count).
+  std::vector<SparseBelief> pub_candidate(n);
+  std::vector<unsigned char> will_publish(n, 0);
+  SparseBelief sp_scratch;
+  std::vector<std::uint32_t> order_scratch;
+
   const auto emit_estimates = [&]() {
     for (std::size_t i = 0; i < n; ++i) {
       if (scenario.is_anchor[i]) continue;
-      result.estimates[i] = config_.map_estimate
-                                ? beliefops::argmax(shape, belief[i])
-                                : beliefops::mean(shape, belief[i]);
-      result.covariances[i] = beliefops::covariance(shape, belief[i]);
+      result.estimates[i] =
+          config_.map_estimate
+              ? beliefops::argmax(cur_shape, (*belief_opt)[i])
+              : beliefops::mean(cur_shape, (*belief_opt)[i]);
+      result.covariances[i] =
+          beliefops::covariance(cur_shape, (*belief_opt)[i]);
     }
   };
 
   setup_timer.stop();
 
-  // --- Iterations ---------------------------------------------------------
+  // --- Levels and rounds --------------------------------------------------
   obs::PhaseTimer rounds_timer("grid.rounds");
-  std::size_t iter = 0;
-  for (; iter < config_.iteration.max_iterations; ++iter) {
-    radio.begin_round();
+  const std::size_t total_rounds = config_.iteration.max_iterations;
+  std::size_t iter = 0;         // global round counter, spans all levels
+  GridShape prev_shape{};       // the level we are upsampling from
+  for (std::size_t lvl = 0; lvl < n_levels; ++lvl) {
+    const GridShape shape{scenario.field, plan.sides[lvl]};
+    const std::size_t side = shape.side;
+    const std::size_t cells = shape.cell_count();
+    cur_shape = shape;
+    const bool finest = lvl + 1 == n_levels;
 
-    // Publish phase: decide who broadcasts this round. A crashed node's
-    // published state freezes at its last alive summary — neighbors keep
-    // using the copy they last received (until the TTL retires it).
-    for (std::size_t u = 0; u < n; ++u) {
-      if (radio.crashed(u)) continue;
-      // Quiet-node short circuit: once a node has published (and nothing
-      // forces re-broadcast), the decision reduces to the re-broadcast TV
-      // gate — evaluated first so a silent node never pays for the
-      // sparsify. Decision-equivalent to gating on informativeness first:
-      // either way a quiet node does not publish.
-      if (ever_published[u] && !always_publish &&
-          beliefops::total_variation(belief[u], last_pub_dense[u]) <=
-              config_.rebroadcast_tol)
-        continue;
-      beliefops::sparsify_into(belief[u], config_.support_mass,
-                               config_.max_support_cells, sp_scratch,
-                               order_scratch);
-      const bool informative =
-          acts_anchor[u] ||
-          sp_scratch.covered_fraction >= config_.informative_coverage;
-      if (!informative) continue;
-      const std::uint64_t ver = ++pub_seq;
-      prev_pub[u] = ever_published[u] ? cur_pub[u] : sp_scratch;
-      prev_ver[u] = ever_published[u] ? cur_ver[u] : ver;
-      cur_pub[u] = std::move(sp_scratch);
-      cur_ver[u] = ver;
-      copy_belief(belief[u], last_pub_dense[u]);
-      ever_published[u] = 1;
-      radio.record_broadcast(u, cur_pub[u].payload_bytes());
+    // --- Belief state at this level ---------------------------------------
+    // Flat SoA arenas: node i's mass is a contiguous slice of one buffer per
+    // role (current / staged / prior / last-published), not its own vector.
+    //
+    // Level switch (lvl > 0) — restart semantics. Every node's belief is
+    // resampled to the new resolution (mass-conserving) but only to *locate*
+    // its support: that support, dilated by the margin, becomes the ROI
+    // bounding this level's dense per-cell work (the prior is rasterized
+    // inside it only), and the belief itself restarts from the ROI-masked
+    // prior. Carrying the upsampled posterior forward instead locks in the
+    // coarse grid's quantization error (damping keeps pulling the refined
+    // belief back toward the blurred coarse blob); restarting inside the
+    // ROI reproduces the single-level fixed point while the coarse rounds
+    // still pay for themselves twice over — the ROI caps the fine level's
+    // per-cell cost, and the translated summaries give the first fine
+    // rounds concentrated messages instead of the cold-start mush.
+    // Published summaries are translated receiver-locally — each receiver
+    // already holds the payload and knows both discretizations, so no radio
+    // traffic is metered — which also keeps crashed nodes' frozen last
+    // broadcasts usable. The last-published dense copy restarts at zero:
+    // once the warm-up (kLevelWarmupRounds) ends, the re-broadcast TV gate
+    // sees a full-mass change and every alive informative node re-announces
+    // itself at the new resolution. The translation is a stopgap for what a
+    // receiver already heard (and all a crashed node can ever offer), not a
+    // substitute for a sharp fine-grid broadcast — gating the re-announce
+    // on the TV against the upsampled posterior instead measurably loses
+    // accuracy (nodes whose refinement lands within the tolerance stay
+    // quiet forever and their neighbors keep multiplying blurred coarse
+    // summaries). Anchors restart from the exact delta at the new
+    // resolution and re-announce it immediately.
+    BeliefStore prior_grid(shape, n);
+    {
+      BeliefStore next_belief(shape, n);
+      BeliefStore next_last_pub(shape, n);
+      std::vector<double> up(lvl > 0 ? cells : 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (acts_anchor[i]) {
+          beliefops::set_delta(shape, prior_grid[i],
+                               scenario.anchor_position(i));
+          roi[i] = CellBox::full(side);
+        } else if (lvl == 0) {
+          beliefops::set_from_prior(
+              shape, prior_grid[i],
+              demoted_prior[i] ? *demoted_prior[i] : *scenario.priors[i]);
+          // Pyramid runs bound even the first level by the *prior's* own
+          // support — pre-knowledge is exactly the license to skip cells
+          // the prior already rules out (a belief rebuilt as
+          // prior × messages keeps ≲1e-6 relative mass there regardless).
+          // An uninformative prior yields a full box and changes nothing;
+          // levels == 1 keeps the historical full-grid sweep bit for bit.
+          if (n_levels > 1) {
+            roi[i] = beliefops::support_box(prior_grid[i], side,
+                                            kRoiPeakFraction)
+                         .dilated(config_.pyramid_roi_margin, side);
+            if (!roi[i].is_full(side))
+              beliefops::mask_in(prior_grid[i], side, roi[i]);
+          } else {
+            roi[i] = CellBox::full(side);
+          }
+        } else {
+          upsample_belief(prev_shape, (*belief_opt)[i], shape, up);
+          roi[i] = beliefops::support_box(up, side, kRoiPeakFraction)
+                       .dilated(config_.pyramid_roi_margin, side);
+          beliefops::set_from_prior_in(
+              shape, prior_grid[i],
+              demoted_prior[i] ? *demoted_prior[i] : *scenario.priors[i],
+              roi[i]);
+        }
+        copy_belief(prior_grid[i], next_belief[i]);
+        if (lvl > 0 && ever_published[i]) {
+          cur_pub[i] = upsample_summary(prev_shape, shape, cur_pub[i]);
+          prev_pub[i] = upsample_summary(prev_shape, shape, prev_pub[i]);
+        }
+      }
+      belief_opt.emplace(std::move(next_belief));
+      last_pub_opt.emplace(std::move(next_last_pub));
+    }
+    BeliefStore& belief = *belief_opt;
+    BeliefStore& last_pub_dense = *last_pub_opt;
+    BeliefStore staged(shape, n);  // Jacobi double buffer
+    for (std::size_t i = 0; i < n; ++i) copy_belief(belief[i], staged[i]);
+
+    // --- Precomputed kernels per directed CSR slot ------------------------
+    // Kernels are pure functions of the measured distance (the spec and
+    // shape are fixed for the level), so the cache shares one kernel across
+    // symmetric link directions and coincident measurements; receivers that
+    // act as anchors never consume theirs and are skipped outright.
+    std::optional<KernelCache> kcache;
+    std::vector<RangeKernel> owned_kernels;
+    std::vector<const RangeKernel*> link_kernel(n_links, nullptr);
+    if (config_.cache_kernels) {
+      kcache.emplace(ranging, shape);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (acts_anchor[i]) continue;
+        const auto nbs = scenario.graph.neighbors(i);
+        for (std::size_t k = 0; k < nbs.size(); ++k)
+          link_kernel[kernel_offset[i] + k] = kcache->range(nbs[k].weight);
+      }
+      obs::count("grid.kernels.built", kcache->stats().built);
+      obs::count("grid.kernels.shared", kcache->stats().shared);
+    } else {
+      owned_kernels.reserve(n_links);
+      for (std::size_t i = 0; i < n; ++i)
+        for (const Neighbor& nb : scenario.graph.neighbors(i))
+          owned_kernels.push_back(
+              RangeKernel::make_range(nb.weight, ranging, shape));
+      for (std::size_t s = 0; s < n_links; ++s)
+        link_kernel[s] = &owned_kernels[s];
+      obs::count("grid.kernels.built", n_links);
     }
 
-    // Update phase: rebuild each unknown's belief from its prior and the
-    // currently-visible neighbor summaries. Jacobi writes into a staging
-    // buffer (order-independent, the honest distributed semantics);
-    // Gauss-Seidel commits each node's belief and published summary
-    // immediately so later nodes in the round already see it.
-    const bool gauss_seidel =
-        config_.schedule == UpdateSchedule::gauss_seidel;
-    // Gauss-Seidel commit: later nodes in the sweep already see this node's
-    // updated belief and summary (a centralized sweep has no extra
-    // broadcast; traffic is not re-metered). The version bump keeps
-    // downstream message caches honest. Serial schedule only.
-    const auto commit_gs = [&](std::size_t i, std::span<const double> next) {
-      copy_belief(next, belief[i]);
-      beliefops::sparsify_into(belief[i], config_.support_mass,
-                               config_.max_support_cells, sp_scratch,
-                               order_scratch);
-      if (sp_scratch.covered_fraction >= config_.informative_coverage) {
-        cur_pub[i] = std::move(sp_scratch);
-        cur_ver[i] = ++pub_seq;
-        ever_published[i] = 1;
+    const RangeKernel conn_kernel =
+        config_.use_negative_evidence
+            ? RangeKernel::make_connectivity(scenario.radio, shape)
+            : RangeKernel();
+
+    // --- Message reuse slots ----------------------------------------------
+    // One dense buffer per directed link / non-link, holding the last
+    // message computed for it and the summary version it came from. A
+    // message is a pure function of (kernel, summary), so replaying the
+    // stored copy is bit-identical to recomputing it. Degrades to recompute
+    // when the footprint would blow the configured budget. Rebuilt per
+    // level: a message computed at one resolution means nothing at another.
+    bool reuse = config_.reuse_messages;
+    if (reuse) {
+      const std::size_t bytes = (n_links + n_nonlinks) * cells * sizeof(double);
+      if (bytes > config_.message_cache_mb * std::size_t{1024} * 1024)
+        reuse = false;
+    }
+    std::optional<BeliefStore> msg_store;
+    std::vector<std::uint64_t> msg_ver;   // version cached per slot; 0 = none
+    std::vector<unsigned char> msg_skip;  // cached "message had no support"
+    if (reuse) {
+      msg_store.emplace(shape, n_links + n_nonlinks);
+      msg_ver.assign(n_links + n_nonlinks, 0);
+      msg_skip.assign(n_links + n_nonlinks, 0);
+    }
+
+    // Whole-product reuse: a node whose *every* input is unchanged since
+    // its last recompute (same summary versions, same delivery/TTL
+    // outcomes) would rebuild the exact same pre-damping message product —
+    // so that product is kept per node and replayed outright, skipping the
+    // whole message loop. Cheap (one extra belief per node) so not under
+    // the slot budget; in late rounds, when rebroadcast suppression quiets
+    // most of the network, this collapses the round cost to a copy +
+    // damping per node.
+    const bool reuse_products = config_.reuse_messages;
+    // Per-input-slot signature of what the last recompute consumed: the
+    // summary version used, or the marker for "contributed nothing" (TTL).
+    constexpr std::uint64_t kSigTtlSkip = ~std::uint64_t{0};
+    std::optional<BeliefStore> product;
+    std::vector<unsigned char> have_product;
+    std::vector<std::uint64_t> in_sig;
+    if (reuse_products) {
+      product.emplace(shape, n);
+      have_product.assign(n, 0);
+      in_sig.assign(n_links + n_nonlinks, kSigTtlSkip - 1);
+    }
+
+    std::vector<double> msg(cells);
+
+    // m(x) = 1 - P(link | x): cap at 1 (kernel overlap can exceed it
+    // slightly on coarse grids). Only the receiver's ROI rows are read
+    // downstream, so only they are transformed; element-wise, so the full
+    // box is bit-identical to the historical whole-buffer loop.
+    const auto neg_transform = [side](std::span<double> buf,
+                                      const CellBox& box) {
+      const std::size_t w = box.width();
+      for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+        double* const row =
+            buf.data() + static_cast<std::size_t>(y) * side + box.x0;
+        for (std::size_t t = 0; t < w; ++t)
+          row[t] = std::max(0.0, 1.0 - std::min(row[t], 1.0));
       }
     };
-    const auto update_node = [&](std::size_t i, std::vector<double>& scratch) {
-      if (acts_anchor[i]) return;
-      if (radio.crashed(i)) return;  // dead nodes stop computing too
-      const std::span<double> next = staged[i];
-      const auto nbs = scenario.graph.neighbors(i);
+    // Clear a message buffer before a clipped replay: only the rows the
+    // replay may write (and downstream ops read) need zeroing.
+    const auto zero_in = [side](std::span<double> buf, const CellBox& box) {
+      if (box.is_full(side)) {
+        std::fill(buf.begin(), buf.end(), 0.0);
+        return;
+      }
+      for (std::int32_t y = box.y0; y <= box.y1; ++y)
+        std::fill_n(buf.begin() + static_cast<std::ptrdiff_t>(
+                                      static_cast<std::size_t>(y) * side +
+                                      static_cast<std::size_t>(box.x0)),
+                    box.width(), 0.0);
+    };
 
-      // Pre-pass: fold this round's inputs into the per-slot signatures
-      // (doing the TTL bookkeeping; the main loop's repeat of it is
-      // idempotent). If every signature is unchanged, the cached product
-      // is exact and the message loop is skipped entirely.
-      bool static_inputs = false;
-      if (reuse_products) {
-        static_inputs = have_product[i] != 0;
+    // --- Level round budget -----------------------------------------------
+    // Coarse levels take an equal slice of the round budget (capped so the
+    // finest level always keeps the majority), and always leave at least
+    // two rounds for every level after them; the finest level gets the
+    // remainder. For levels == 1 this is exactly `max_iterations`.
+    std::size_t level_cap;
+    if (finest) {
+      level_cap = total_rounds > iter ? total_rounds - iter : 0;
+    } else {
+      const std::size_t reserve = 2 * (n_levels - 1 - lvl);
+      const std::size_t share =
+          std::max<std::size_t>(2, total_rounds / (n_levels + 1));
+      level_cap = total_rounds > iter + reserve
+                      ? std::min(share, total_rounds - iter - reserve)
+                      : 0;
+    }
+
+    for (std::size_t level_round = 0; level_round < level_cap;
+         ++level_round, ++iter) {
+      radio.begin_round();
+
+      // Publish phase: decide who broadcasts this round. A crashed node's
+      // published state freezes at its last alive summary — neighbors keep
+      // using the copy they last received (until the TTL retires it).
+      // Pass 1 (node-parallel): the re-broadcast TV gate, the sparsify, and
+      // the informative gate are all node-local, as is the dense
+      // last-published copy.
+      const auto decide_publish = [&](std::size_t u,
+                                      std::vector<std::uint32_t>& oscratch) {
+        will_publish[u] = 0;
+        if (radio.crashed(u)) return;
+        // Quiet-node short circuit: once a node has published (and nothing
+        // forces re-broadcast), the decision reduces to the re-broadcast TV
+        // gate — evaluated first so a silent node never pays for the
+        // sparsify. Decision-equivalent to gating on informativeness first:
+        // either way a quiet node does not publish. All three dense steps
+        // (TV gate, sparsify, last-published copy) stay inside the node's
+        // ROI — both buffers are zero outside it.
+        if (ever_published[u] && !always_publish &&
+            beliefops::total_variation_in(belief[u], last_pub_dense[u], side,
+                                          roi[u]) <= config_.rebroadcast_tol)
+          return;
+        beliefops::sparsify_in(belief[u], side, roi[u], config_.support_mass,
+                               pub_cap, pub_candidate[u],
+                               oscratch);
+        const bool informative =
+            acts_anchor[u] ||
+            pub_candidate[u].covered_fraction >= config_.informative_coverage;
+        if (!informative) return;
+        beliefops::copy_in(belief[u], last_pub_dense[u], side, roi[u]);
+        will_publish[u] = 1;
+      };
+      if (pool) {
+        parallel_for_chunks(*pool, n, [&](std::size_t begin, std::size_t end) {
+          std::vector<std::uint32_t> oscratch;
+          for (std::size_t u = begin; u < end; ++u)
+            decide_publish(u, oscratch);
+        });
+      } else {
+        for (std::size_t u = 0; u < n; ++u) decide_publish(u, order_scratch);
+      }
+      // Pass 2 (serial, node order): version numbers and metered traffic
+      // are order-sensitive, so they commit in node order regardless of how
+      // pass 1 was scheduled.
+      for (std::size_t u = 0; u < n; ++u) {
+        if (!will_publish[u]) continue;
+        const std::uint64_t ver = ++pub_seq;
+        prev_pub[u] = ever_published[u] ? std::move(cur_pub[u])
+                                        : pub_candidate[u];
+        prev_ver[u] = ever_published[u] ? cur_ver[u] : ver;
+        cur_pub[u] = std::move(pub_candidate[u]);
+        cur_ver[u] = ver;
+        ever_published[u] = 1;
+        radio.record_broadcast(u, cur_pub[u].payload_bytes());
+      }
+
+      // Update phase: rebuild each unknown's belief from its prior and the
+      // currently-visible neighbor summaries. Jacobi writes into a staging
+      // buffer (order-independent, the honest distributed semantics);
+      // Gauss-Seidel commits each node's belief and published summary
+      // immediately so later nodes in the round already see it.
+      const bool gauss_seidel =
+          config_.schedule == UpdateSchedule::gauss_seidel;
+      // Gauss-Seidel commit: later nodes in the sweep already see this
+      // node's updated belief and summary (a centralized sweep has no extra
+      // broadcast; traffic is not re-metered). The version bump keeps
+      // downstream message caches honest. Serial schedule only.
+      const auto commit_gs = [&](std::size_t i, std::span<const double> next) {
+        beliefops::copy_in(next, belief[i], side, roi[i]);
+        beliefops::sparsify_in(belief[i], side, roi[i], config_.support_mass,
+                               pub_cap, sp_scratch,
+                               order_scratch);
+        if (sp_scratch.covered_fraction >= config_.informative_coverage) {
+          cur_pub[i] = std::move(sp_scratch);
+          cur_ver[i] = ++pub_seq;
+          ever_published[i] = 1;
+        }
+      };
+      const auto update_node = [&](std::size_t i,
+                                   std::vector<double>& scratch) {
+        if (acts_anchor[i]) return;
+        if (radio.crashed(i)) return;  // dead nodes stop computing too
+        const std::span<double> next = staged[i];
+        const auto nbs = scenario.graph.neighbors(i);
+        const CellBox& box = roi[i];
+
+        // Pre-pass: fold this round's inputs into the per-slot signatures
+        // (doing the TTL bookkeeping; the main loop's repeat of it is
+        // idempotent). If every signature is unchanged, the cached product
+        // is exact and the message loop is skipped entirely.
+        bool static_inputs = false;
+        if (reuse_products) {
+          static_inputs = have_product[i] != 0;
+          for (std::size_t k = 0; k < nbs.size(); ++k) {
+            const std::size_t j = nbs[k].node;
+            const std::size_t slot = kernel_offset[i] + k;
+            const bool fresh = radio.delivered(j, i);
+            std::uint64_t sig = fresh ? cur_ver[j] : prev_ver[j];
+            if (config_.robustness.stale_ttl > 0) {
+              std::size_t& heard = last_heard[slot];
+              if (fresh) heard = iter + 1;
+              else if (iter + 1 - heard > config_.robustness.stale_ttl)
+                sig = kSigTtlSkip;
+            }
+            if (in_sig[slot] != sig) {
+              in_sig[slot] = sig;
+              static_inputs = false;
+            }
+          }
+          if (config_.use_negative_evidence) {
+            const auto& nls = nonlinks[i];
+            for (std::size_t k = 0; k < nls.size(); ++k) {
+              const std::size_t far = nls[k];
+              const std::size_t slot = n_links + nl_offset[i] + k;
+              // The coverage gate depends only on the summary, so the
+              // version alone identifies the contribution; a crash only
+              // matters when the TTL retires frozen summaries.
+              std::uint64_t sig = cur_ver[far];
+              if (config_.robustness.stale_ttl > 0 && radio.crashed(far))
+                sig = kSigTtlSkip;
+              if (in_sig[slot] != sig) {
+                in_sig[slot] = sig;
+                static_inputs = false;
+              }
+            }
+          }
+        }
+        if (static_inputs) {
+          ++node_prods_reused[i];
+          beliefops::copy_in((*product)[i], next, side, box);
+          beliefops::mix_in(next, belief[i], config_.damping, side, box);
+          node_change[i] =
+              beliefops::total_variation_in(next, belief[i], side, box);
+          if (gauss_seidel) commit_gs(i, next);
+          return;
+        }
+
+        beliefops::copy_in(prior_grid[i], next, side, box);
         for (std::size_t k = 0; k < nbs.size(); ++k) {
           const std::size_t j = nbs[k].node;
           const std::size_t slot = kernel_offset[i] + k;
           const bool fresh = radio.delivered(j, i);
-          std::uint64_t sig = fresh ? cur_ver[j] : prev_ver[j];
           if (config_.robustness.stale_ttl > 0) {
             std::size_t& heard = last_heard[slot];
             if (fresh) heard = iter + 1;
+            // Undelivered for longer than the TTL: the neighbor is presumed
+            // dead and its stale summary decays out of the product.
             else if (iter + 1 - heard > config_.robustness.stale_ttl)
-              sig = kSigTtlSkip;
+              continue;
           }
-          if (in_sig[slot] != sig) {
-            in_sig[slot] = sig;
-            static_inputs = false;
+          const SparseBelief& src = fresh ? cur_pub[j] : prev_pub[j];
+          if (src.empty()) continue;
+          if (reuse) {
+            const std::uint64_t ver = fresh ? cur_ver[j] : prev_ver[j];
+            const std::span<double> cached = (*msg_store)[slot];
+            if (msg_ver[slot] == ver) {
+              ++node_msgs_reused[i];
+              if (!msg_skip[slot])
+                beliefops::multiply_in(next, cached, config_.message_floor,
+                                       side, box);
+              continue;
+            }
+            const double peak =
+                link_kernel[slot]->correlate(src, cached, side, &box);
+            msg_ver[slot] = ver;
+            ++node_msgs_computed[i];
+            if (peak <= 0.0) {
+              msg_skip[slot] = 1;
+              continue;
+            }
+            msg_skip[slot] = 0;
+            beliefops::multiply_in(next, cached, config_.message_floor, side,
+                                   box);
+          } else {
+            const double peak =
+                link_kernel[slot]->correlate(src, scratch, side, &box);
+            ++node_msgs_computed[i];
+            if (peak <= 0.0) continue;
+            beliefops::multiply_in(next, scratch, config_.message_floor, side,
+                                   box);
           }
         }
         if (config_.use_negative_evidence) {
           const auto& nls = nonlinks[i];
           for (std::size_t k = 0; k < nls.size(); ++k) {
             const std::size_t far = nls[k];
-            const std::size_t slot = n_links + nl_offset[i] + k;
-            // The coverage gate depends only on the summary, so the version
-            // alone identifies the contribution; a crash only matters when
-            // the TTL retires frozen summaries.
-            std::uint64_t sig = cur_ver[far];
+            // With a TTL active, a dead node's frozen summary stops being
+            // usable as non-link evidence as well.
             if (config_.robustness.stale_ttl > 0 && radio.crashed(far))
-              sig = kSigTtlSkip;
-            if (in_sig[slot] != sig) {
-              in_sig[slot] = sig;
-              static_inputs = false;
-            }
-          }
-        }
-      }
-      if (static_inputs) {
-        ++node_prods_reused[i];
-        copy_belief((*product)[i], next);
-        beliefops::mix(next, belief[i], config_.damping);
-        node_change[i] = beliefops::total_variation(next, belief[i]);
-        if (gauss_seidel) commit_gs(i, next);
-        return;
-      }
-
-      copy_belief(prior_grid[i], next);
-      for (std::size_t k = 0; k < nbs.size(); ++k) {
-        const std::size_t j = nbs[k].node;
-        const std::size_t slot = kernel_offset[i] + k;
-        const bool fresh = radio.delivered(j, i);
-        if (config_.robustness.stale_ttl > 0) {
-          std::size_t& heard = last_heard[slot];
-          if (fresh) heard = iter + 1;
-          // Undelivered for longer than the TTL: the neighbor is presumed
-          // dead and its stale summary decays out of the product.
-          else if (iter + 1 - heard > config_.robustness.stale_ttl)
-            continue;
-        }
-        const SparseBelief& src = fresh ? cur_pub[j] : prev_pub[j];
-        if (src.empty()) continue;
-        if (reuse) {
-          const std::uint64_t ver = fresh ? cur_ver[j] : prev_ver[j];
-          const std::span<double> cached = (*msg_store)[slot];
-          if (msg_ver[slot] == ver) {
-            ++node_msgs_reused[i];
-            if (!msg_skip[slot])
-              beliefops::multiply(next, cached, config_.message_floor);
-            continue;
-          }
-          const double peak = link_kernel[slot]->correlate(src, cached, side);
-          msg_ver[slot] = ver;
-          ++node_msgs_computed[i];
-          if (peak <= 0.0) {
-            msg_skip[slot] = 1;
-            continue;
-          }
-          msg_skip[slot] = 0;
-          beliefops::multiply(next, cached, config_.message_floor);
-        } else {
-          const double peak = link_kernel[slot]->correlate(src, scratch, side);
-          ++node_msgs_computed[i];
-          if (peak <= 0.0) continue;
-          beliefops::multiply(next, scratch, config_.message_floor);
-        }
-      }
-      if (config_.use_negative_evidence) {
-        const auto& nls = nonlinks[i];
-        for (std::size_t k = 0; k < nls.size(); ++k) {
-          const std::size_t far = nls[k];
-          // With a TTL active, a dead node's frozen summary stops being
-          // usable as non-link evidence as well.
-          if (config_.robustness.stale_ttl > 0 && radio.crashed(far)) continue;
-          const SparseBelief& src = cur_pub[far];
-          // Negative evidence only pays off against a concentrated belief.
-          if (src.empty() || src.covered_fraction < 0.9) continue;
-          if (reuse) {
-            const std::size_t slot = n_links + nl_offset[i] + k;
-            const std::span<double> cached = (*msg_store)[slot];
-            if (msg_ver[slot] == cur_ver[far]) {
-              ++node_msgs_reused[i];
-              beliefops::multiply(next, cached, config_.message_floor);
               continue;
+            const SparseBelief& src = cur_pub[far];
+            // Negative evidence only pays off against a concentrated belief.
+            if (src.empty() || src.covered_fraction < 0.9) continue;
+            if (reuse) {
+              const std::size_t slot = n_links + nl_offset[i] + k;
+              const std::span<double> cached = (*msg_store)[slot];
+              if (msg_ver[slot] == cur_ver[far]) {
+                ++node_msgs_reused[i];
+                beliefops::multiply_in(next, cached, config_.message_floor,
+                                       side, box);
+                continue;
+              }
+              zero_in(cached, box);
+              conn_kernel.accumulate(src, cached, side, &box);
+              neg_transform(cached, box);
+              msg_ver[slot] = cur_ver[far];
+              ++node_msgs_computed[i];
+              beliefops::multiply_in(next, cached, config_.message_floor,
+                                     side, box);
+            } else {
+              zero_in(scratch, box);
+              conn_kernel.accumulate(src, scratch, side, &box);
+              neg_transform(scratch, box);
+              ++node_msgs_computed[i];
+              beliefops::multiply_in(next, scratch, config_.message_floor,
+                                     side, box);
             }
-            std::fill(cached.begin(), cached.end(), 0.0);
-            conn_kernel.accumulate(src, cached, side);
-            // m(x) = 1 - P(link | x): cap at 1 (kernel overlap can exceed
-            // it slightly on coarse grids).
-            for (double& v : cached)
-              v = std::max(0.0, 1.0 - std::min(v, 1.0));
-            msg_ver[slot] = cur_ver[far];
-            ++node_msgs_computed[i];
-            beliefops::multiply(next, cached, config_.message_floor);
-          } else {
-            std::fill(scratch.begin(), scratch.end(), 0.0);
-            conn_kernel.accumulate(src, scratch, side);
-            for (double& v : scratch)
-              v = std::max(0.0, 1.0 - std::min(v, 1.0));
-            ++node_msgs_computed[i];
-            beliefops::multiply(next, scratch, config_.message_floor);
           }
         }
-      }
-      if (reuse_products) {
-        copy_belief(next, (*product)[i]);  // pre-damping: replayable as-is
-        have_product[i] = 1;
-      }
-      beliefops::mix(next, belief[i], config_.damping);
-      node_change[i] = beliefops::total_variation(next, belief[i]);
-      if (gauss_seidel) commit_gs(i, next);
-    };
+        if (reuse_products) {
+          // pre-damping: replayable as-is
+          beliefops::copy_in(next, (*product)[i], side, box);
+          have_product[i] = 1;
+        }
+        beliefops::mix_in(next, belief[i], config_.damping, side, box);
+        node_change[i] =
+            beliefops::total_variation_in(next, belief[i], side, box);
+        if (gauss_seidel) commit_gs(i, next);
+      };
 
-    std::fill(node_change.begin(), node_change.end(), -1.0);
-    std::fill(node_msgs_computed.begin(), node_msgs_computed.end(), 0U);
-    std::fill(node_msgs_reused.begin(), node_msgs_reused.end(), 0U);
-    std::fill(node_prods_reused.begin(), node_prods_reused.end(), 0U);
-    if (pool && !gauss_seidel) {
-      parallel_for_chunks(*pool, n, [&](std::size_t begin, std::size_t end) {
-        std::vector<double> scratch(cells);
-        for (std::size_t i = begin; i < end; ++i) update_node(i, scratch);
-      });
-    } else {
-      for (std::size_t i = 0; i < n; ++i) update_node(i, msg);
-    }
-
-    double sum_change = 0.0;
-    std::size_t changed_nodes = 0;
-    std::uint64_t msgs_computed = 0, msgs_reused = 0, prods_reused = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (node_change[i] >= 0.0) {
-        sum_change += node_change[i];
-        ++changed_nodes;
+      std::fill(node_change.begin(), node_change.end(), -1.0);
+      std::fill(node_msgs_computed.begin(), node_msgs_computed.end(), 0U);
+      std::fill(node_msgs_reused.begin(), node_msgs_reused.end(), 0U);
+      std::fill(node_prods_reused.begin(), node_prods_reused.end(), 0U);
+      if (pool && !gauss_seidel) {
+        parallel_for_chunks(*pool, n, [&](std::size_t begin, std::size_t end) {
+          std::vector<double> scratch(cells);
+          for (std::size_t i = begin; i < end; ++i) update_node(i, scratch);
+        });
+      } else {
+        for (std::size_t i = 0; i < n; ++i) update_node(i, msg);
       }
-      msgs_computed += node_msgs_computed[i];
-      msgs_reused += node_msgs_reused[i];
-      prods_reused += node_prods_reused[i];
-    }
-    obs::count("grid.messages.computed", msgs_computed);
-    obs::count("grid.messages.reused", msgs_reused);
-    obs::count("grid.products.reused", prods_reused);
-    if (!gauss_seidel)
-      for (std::size_t i = 0; i < n; ++i)
-        if (!acts_anchor[i] && !radio.crashed(i))
-          copy_belief(staged[i], belief[i]);
 
-    const double mean_change =
-        changed_nodes ? sum_change / static_cast<double>(changed_nodes) : 0.0;
-    result.change_per_iteration.push_back(mean_change);
-    if (config_.observer) {
-      emit_estimates();
-      config_.observer(iter + 1, result.estimates);
+      double sum_change = 0.0;
+      std::size_t changed_nodes = 0;
+      std::uint64_t msgs_computed = 0, msgs_reused = 0, prods_reused = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (node_change[i] >= 0.0) {
+          sum_change += node_change[i];
+          ++changed_nodes;
+        }
+        msgs_computed += node_msgs_computed[i];
+        msgs_reused += node_msgs_reused[i];
+        prods_reused += node_prods_reused[i];
+      }
+      obs::count("grid.messages.computed", msgs_computed);
+      obs::count("grid.messages.reused", msgs_reused);
+      obs::count("grid.products.reused", prods_reused);
+      if (!gauss_seidel) {
+        const auto commit_chunk = [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i)
+            if (!acts_anchor[i] && !radio.crashed(i))
+              beliefops::copy_in(staged[i], belief[i], side, roi[i]);
+        };
+        if (pool)
+          parallel_for_chunks(*pool, n, commit_chunk);
+        else
+          commit_chunk(0, n);
+      }
+
+      const double mean_change =
+          changed_nodes ? sum_change / static_cast<double>(changed_nodes)
+                        : 0.0;
+      result.change_per_iteration.push_back(mean_change);
+      if (config_.observer) {
+        emit_estimates();
+        config_.observer(iter + 1, result.estimates);
+      }
+      if (tracing) {
+        emit_estimates();
+        obs::RobustActivity robust;
+        robust.anchors_demoted = anchors_demoted;
+        robust.stale_links = obs::stale_link_count(
+            last_heard, iter + 1, config_.robustness.stale_ttl);
+        robust.crashed_nodes = radio.crashed_count();
+        obs::record_round(scenario, iter + 1, mean_change, result.estimates,
+                          radio.stats(), robust);
+      }
+      // Converged at this resolution: the finest level ends the run; a
+      // coarse level just hands over to the next rung early.
+      if (mean_change < config_.iteration.convergence_tol &&
+          level_round >= 2) {
+        if (finest) result.converged = true;
+        ++iter;
+        break;
+      }
     }
-    if (tracing) {
-      emit_estimates();
-      obs::RobustActivity robust;
-      robust.anchors_demoted = anchors_demoted;
-      robust.stale_links = obs::stale_link_count(last_heard, iter + 1,
-                                                 config_.robustness.stale_ttl);
-      robust.crashed_nodes = radio.crashed_count();
-      obs::record_round(scenario, iter + 1, mean_change, result.estimates,
-                        radio.stats(), robust);
-    }
-    if (mean_change < config_.iteration.convergence_tol && iter >= 2) {
-      result.converged = true;
-      ++iter;
-      break;
-    }
+
+    prev_shape = shape;
   }
   rounds_timer.stop();
   obs::count(result.converged ? "grid.converged" : "grid.maxed_out");

@@ -43,6 +43,26 @@ enum class UpdateSchedule {
 
 struct GridBnclConfig {
   std::size_t grid_side = 48;       ///< cells per field side.
+  /// Coarse-to-fine pyramid (PR5): number of resolution levels. 1 (default)
+  /// is the classic single-resolution run — bit-identical to the pre-pyramid
+  /// engine. With L > 1 the run starts on a coarse grid (side ≈
+  /// grid_side·l/L per level, floored at 8) and refines: at each level
+  /// switch every node's belief is upsampled (mass-conserving area overlap,
+  /// inference/pyramid.hpp), published summaries are translated
+  /// receiver-locally (no extra radio traffic), and the belief's support
+  /// becomes a per-node region of interest so the fine levels only evaluate
+  /// cells the coarse levels did not already rule out. Early rounds run on
+  /// the coarse rungs, so the budget in `iteration.max_iterations` is split
+  /// across levels (each coarse level gets at most max_iterations/(L+1)
+  /// rounds; the finest level gets the remainder). Sensible with
+  /// max_iterations ≳ 4·L.
+  std::size_t pyramid_levels = 1;
+  /// ROI dilation margin at a level switch, in cells of the level being
+  /// entered: the upsampled belief's support box is grown by this much on
+  /// every edge before masking. Larger is safer (the region a node's belief
+  /// may move into during the level) but slower; 4 covers the coarse-cell
+  /// quantization plus normal per-round drift.
+  std::int32_t pyramid_roi_margin = 4;
   UpdateSchedule schedule = UpdateSchedule::jacobi;
   /// Shared outer-loop knobs. `convergence_tol` here is the *mean* belief
   /// total-variation change per round (estimates plateau earlier than
@@ -88,14 +108,20 @@ struct GridBnclConfig {
   /// recompute (correct, just slower) instead of ballooning memory.
   std::size_t message_cache_mb = 256;
 
-  /// Worker threads for the per-node belief update within a round (the
-  /// per-node parallelism pilot, F14 part B). Jacobi only: nodes are
-  /// independent within a round — each reads the round-start summaries and
-  /// writes only its own staged belief — so any thread count yields
-  /// bit-identical beliefs; the Gauss-Seidel schedule is order-dependent by
-  /// definition and always runs serially. 1 (default) keeps the engine
-  /// single-threaded so trial-level parallelism above it never
-  /// oversubscribes; 0 selects hardware concurrency.
+  /// Worker threads for the node-parallel phases within a round (the
+  /// per-node parallelism pilot, F14 part B; extended in PR5). Three phases
+  /// split across the pool: the Jacobi belief update (including the
+  /// negative-evidence message construction, which lives inside it), the
+  /// publish phase's decide/sparsify pass, and the staged→current belief
+  /// commit. All are independent across nodes — each reads the round-start
+  /// summaries and writes only its own slots — and the order-sensitive
+  /// effects (publish version numbers, metered radio traffic) are committed
+  /// by a serial second pass in node order, so any thread count yields
+  /// bit-identical results. The Gauss-Seidel update schedule is
+  /// order-dependent by definition and always runs its sweep serially.
+  /// 1 (default) keeps the engine single-threaded so trial-level
+  /// parallelism above it never oversubscribes; 0 selects hardware
+  /// concurrency.
   std::size_t threads = 1;
 
   /// Optional per-iteration hook (estimates indexed by node; anchors too).

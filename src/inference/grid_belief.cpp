@@ -5,8 +5,18 @@
 #include <numeric>
 
 #include "support/assert.hpp"
+#include "support/simd.hpp"
 
 namespace bnloc {
+
+CellBox CellBox::dilated(std::int32_t margin, std::size_t side) const noexcept {
+  if (empty()) return *this;
+  const auto s = static_cast<std::int32_t>(side);
+  return {std::max(x0 - margin, std::int32_t{0}),
+          std::min(x1 + margin, s - 1),
+          std::max(y0 - margin, std::int32_t{0}),
+          std::min(y1 + margin, s - 1)};
+}
 
 Vec2 GridShape::cell_center(std::size_t cell) const noexcept {
   const std::size_t cx = cell % side;
@@ -57,47 +67,31 @@ void set_delta(const GridShape& shape, std::span<double> mass,
 void multiply(std::span<double> mass, std::span<const double> factor,
               double floor) {
   BNLOC_ASSERT(factor.size() == mass.size(), "factor grid shape mismatch");
-  double total = 0.0;
-  for (std::size_t c = 0; c < mass.size(); ++c) {
-    mass[c] *= factor[c] + floor;
-    total += mass[c];
-  }
+  const double total =
+      simd::mul_add_floor_sum(mass.data(), factor.data(), floor, mass.size());
   if (total <= 0.0) {
     set_uniform(mass);
     return;
   }
-  for (double& m : mass) m /= total;
+  simd::div_all(mass.data(), total, mass.size());
 }
 
 void mix(std::span<double> mass, std::span<const double> previous,
          double lambda) noexcept {
-  for (std::size_t c = 0; c < mass.size(); ++c)
-    mass[c] = (1.0 - lambda) * mass[c] + lambda * previous[c];
+  simd::mix(mass.data(), previous.data(), lambda, mass.size());
 }
 
 double peak(std::span<const double> mass) noexcept {
-  // Four independent max chains so the reduction vectorizes. Unlike a sum,
-  // a max is exact under any association, so this returns the bit-same
-  // value as a linear std::max_element scan over a non-negative buffer.
-  double m0 = 0.0, m1 = 0.0, m2 = 0.0, m3 = 0.0;
-  std::size_t c = 0;
-  for (; c + 4 <= mass.size(); c += 4) {
-    m0 = std::max(m0, mass[c]);
-    m1 = std::max(m1, mass[c + 1]);
-    m2 = std::max(m2, mass[c + 2]);
-    m3 = std::max(m3, mass[c + 3]);
-  }
-  for (; c < mass.size(); ++c) m0 = std::max(m0, mass[c]);
-  return std::max(std::max(m0, m1), std::max(m2, m3));
+  return simd::max0(mass.data(), mass.size());
 }
 
 void normalize(std::span<double> mass) noexcept {
-  const double total = std::accumulate(mass.begin(), mass.end(), 0.0);
+  const double total = simd::sum(mass.data(), mass.size());
   if (total <= 0.0) {
     set_uniform(mass);
     return;
   }
-  for (double& m : mass) m /= total;
+  simd::div_all(mass.data(), total, mass.size());
 }
 
 Vec2 mean(const GridShape& shape, std::span<const double> mass) noexcept {
@@ -140,21 +134,191 @@ double entropy(std::span<const double> mass) noexcept {
 double total_variation(std::span<const double> a, std::span<const double> b) {
   BNLOC_ASSERT(a.size() == b.size(),
                "total variation needs same-shape beliefs");
+  return 0.5 * simd::l1_diff(a.data(), b.data(), a.size());
+}
+
+namespace {
+
+/// Uniform over the box cells only (outside left untouched — callers keep
+/// it zero).
+void set_uniform_in(std::span<double> mass, std::size_t side,
+                    const CellBox& box) noexcept {
+  const double v = 1.0 / static_cast<double>(box.cell_count());
+  for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+    double* const row = mass.data() + static_cast<std::size_t>(y) * side;
+    for (std::int32_t x = box.x0; x <= box.x1; ++x) row[x] = v;
+  }
+}
+
+}  // namespace
+
+void multiply_in(std::span<double> mass, std::span<const double> factor,
+                 double floor, std::size_t side, const CellBox& box) {
+  if (box.is_full(side)) {
+    multiply(mass, factor, floor);
+    return;
+  }
+  BNLOC_ASSERT(factor.size() == mass.size(), "factor grid shape mismatch");
+  BNLOC_ASSERT(!box.empty(), "multiply_in needs a non-empty box");
+  const std::size_t w = box.width();
+  double total = 0.0;
+  for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * side +
+                            static_cast<std::size_t>(box.x0);
+    total += simd::mul_add_floor_sum(mass.data() + off, factor.data() + off,
+                                     floor, w);
+  }
+  if (total <= 0.0) {
+    set_uniform_in(mass, side, box);
+    return;
+  }
+  for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * side +
+                            static_cast<std::size_t>(box.x0);
+    simd::div_all(mass.data() + off, total, w);
+  }
+}
+
+void normalize_in(std::span<double> mass, std::size_t side,
+                  const CellBox& box) noexcept {
+  if (box.is_full(side)) {
+    normalize(mass);
+    return;
+  }
+  const std::size_t w = box.width();
+  double total = 0.0;
+  for (std::int32_t y = box.y0; y <= box.y1; ++y)
+    total += simd::sum(mass.data() + static_cast<std::size_t>(y) * side +
+                           static_cast<std::size_t>(box.x0),
+                       w);
+  if (total <= 0.0) {
+    set_uniform_in(mass, side, box);
+    return;
+  }
+  for (std::int32_t y = box.y0; y <= box.y1; ++y)
+    simd::div_all(mass.data() + static_cast<std::size_t>(y) * side +
+                      static_cast<std::size_t>(box.x0),
+                  total, w);
+}
+
+void mix_in(std::span<double> mass, std::span<const double> previous,
+            double lambda, std::size_t side, const CellBox& box) noexcept {
+  if (box.is_full(side)) {
+    mix(mass, previous, lambda);
+    return;
+  }
+  const std::size_t w = box.width();
+  for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * side +
+                            static_cast<std::size_t>(box.x0);
+    simd::mix(mass.data() + off, previous.data() + off, lambda, w);
+  }
+}
+
+double total_variation_in(std::span<const double> a,
+                          std::span<const double> b, std::size_t side,
+                          const CellBox& box) {
+  if (box.is_full(side)) return total_variation(a, b);
+  BNLOC_ASSERT(a.size() == b.size(),
+               "total variation needs same-shape beliefs");
+  const std::size_t w = box.width();
   double l1 = 0.0;
-  for (std::size_t c = 0; c < a.size(); ++c) l1 += std::abs(a[c] - b[c]);
+  for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * side +
+                            static_cast<std::size_t>(box.x0);
+    l1 += simd::l1_diff(a.data() + off, b.data() + off, w);
+  }
   return 0.5 * l1;
 }
 
-void sparsify_into(std::span<const double> mass, double mass_fraction,
-                   std::size_t max_cells, SparseBelief& out,
-                   std::vector<std::uint32_t>& order_scratch) {
-  BNLOC_ASSERT(mass_fraction > 0.0 && mass_fraction <= 1.0,
-               "mass fraction out of range");
-  // Partial selection: cells sorted by descending mass until the target
-  // fraction (or the cap) is reached.
-  order_scratch.resize(mass.size());
-  std::iota(order_scratch.begin(), order_scratch.end(), 0U);
-  const std::size_t keep_at_most = std::min(max_cells, mass.size());
+void copy_in(std::span<const double> from, std::span<double> to,
+             std::size_t side, const CellBox& box) noexcept {
+  if (box.is_full(side)) {
+    copy_belief(from, to);
+    return;
+  }
+  const std::size_t w = box.width();
+  for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+    const std::size_t off = static_cast<std::size_t>(y) * side +
+                            static_cast<std::size_t>(box.x0);
+    std::copy(from.begin() + static_cast<std::ptrdiff_t>(off),
+              from.begin() + static_cast<std::ptrdiff_t>(off + w),
+              to.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+}
+
+void mask_in(std::span<double> mass, std::size_t side, const CellBox& box) {
+  if (box.is_full(side)) return;
+  const auto s = static_cast<std::int32_t>(side);
+  for (std::int32_t y = 0; y < s; ++y) {
+    double* const row = mass.data() + static_cast<std::size_t>(y) * side;
+    if (y < box.y0 || y > box.y1) {
+      std::fill(row, row + side, 0.0);
+      continue;
+    }
+    std::fill(row, row + box.x0, 0.0);
+    std::fill(row + box.x1 + 1, row + side, 0.0);
+  }
+  normalize_in(mass, side, box);
+}
+
+void set_from_prior_in(const GridShape& shape, std::span<double> mass,
+                       const PositionPrior& prior, const CellBox& box) {
+  if (box.is_full(shape.side)) {
+    set_from_prior(shape, mass, prior);
+    return;
+  }
+  BNLOC_ASSERT(mass.size() == shape.cell_count(), "mass buffer shape mismatch");
+  BNLOC_ASSERT(!box.empty(), "set_from_prior_in needs a non-empty box");
+  const std::size_t side = shape.side;
+  double total = 0.0;
+  for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+    const std::size_t row = static_cast<std::size_t>(y) * side;
+    for (std::int32_t x = box.x0; x <= box.x1; ++x) {
+      const std::size_t c = row + static_cast<std::size_t>(x);
+      mass[c] = prior.density(shape.cell_center(c));
+      total += mass[c];
+    }
+  }
+  if (total <= 0.0) {
+    set_uniform_in(mass, side, box);
+    return;
+  }
+  for (std::int32_t y = box.y0; y <= box.y1; ++y)
+    simd::div_all(mass.data() + static_cast<std::size_t>(y) * side +
+                      static_cast<std::size_t>(box.x0),
+                  total, box.width());
+}
+
+CellBox support_box(std::span<const double> mass, std::size_t side,
+                    double peak_fraction) noexcept {
+  const double p = peak(mass);
+  if (p <= 0.0) return CellBox::full(side);
+  const double thr = p * peak_fraction;
+  const auto s = static_cast<std::int32_t>(side);
+  CellBox box{s, -1, s, -1};
+  for (std::int32_t y = 0; y < s; ++y) {
+    const double* const row = mass.data() + static_cast<std::size_t>(y) * side;
+    for (std::int32_t x = 0; x < s; ++x) {
+      if (row[x] < thr) continue;
+      box.x0 = std::min(box.x0, x);
+      box.x1 = std::max(box.x1, x);
+      box.y0 = std::min(box.y0, y);
+      box.y1 = std::max(box.y1, y);
+    }
+  }
+  if (box.empty()) return CellBox::full(side);
+  return box;
+}
+
+namespace {
+
+/// Shared tail of sparsify: partial-sort the candidate cell ids already in
+/// `order_scratch` by descending mass, keep until the fraction or cap.
+void select_top(std::span<const double> mass, double mass_fraction,
+                std::size_t max_cells, SparseBelief& out,
+                std::vector<std::uint32_t>& order_scratch) {
+  const std::size_t keep_at_most = std::min(max_cells, order_scratch.size());
   std::partial_sort(
       order_scratch.begin(),
       order_scratch.begin() + static_cast<std::ptrdiff_t>(keep_at_most),
@@ -175,6 +339,42 @@ void sparsify_into(std::span<const double> mass, double mass_fraction,
   out.mass.resize(out.cells.size());
   for (std::size_t k = 0; k < out.cells.size(); ++k)
     out.mass[k] = static_cast<float>(mass[out.cells[k]] / covered);
+}
+
+}  // namespace
+
+void sparsify_into(std::span<const double> mass, double mass_fraction,
+                   std::size_t max_cells, SparseBelief& out,
+                   std::vector<std::uint32_t>& order_scratch) {
+  BNLOC_ASSERT(mass_fraction > 0.0 && mass_fraction <= 1.0,
+               "mass fraction out of range");
+  // Partial selection: cells sorted by descending mass until the target
+  // fraction (or the cap) is reached.
+  order_scratch.resize(mass.size());
+  std::iota(order_scratch.begin(), order_scratch.end(), 0U);
+  select_top(mass, mass_fraction, max_cells, out, order_scratch);
+}
+
+void sparsify_in(std::span<const double> mass, std::size_t side,
+                 const CellBox& box, double mass_fraction,
+                 std::size_t max_cells, SparseBelief& out,
+                 std::vector<std::uint32_t>& order_scratch) {
+  if (box.is_full(side)) {
+    sparsify_into(mass, mass_fraction, max_cells, out, order_scratch);
+    return;
+  }
+  BNLOC_ASSERT(mass_fraction > 0.0 && mass_fraction <= 1.0,
+               "mass fraction out of range");
+  BNLOC_ASSERT(!box.empty(), "sparsify_in needs a non-empty box");
+  order_scratch.clear();
+  order_scratch.reserve(box.cell_count());
+  for (std::int32_t y = box.y0; y <= box.y1; ++y) {
+    const auto row = static_cast<std::uint32_t>(y) *
+                     static_cast<std::uint32_t>(side);
+    for (std::int32_t x = box.x0; x <= box.x1; ++x)
+      order_scratch.push_back(row + static_cast<std::uint32_t>(x));
+  }
+  select_top(mass, mass_fraction, max_cells, out, order_scratch);
 }
 
 }  // namespace beliefops

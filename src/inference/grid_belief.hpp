@@ -66,9 +66,51 @@ struct GridShape {
   [[nodiscard]] std::size_t cell_at(Vec2 p) const noexcept;
 };
 
+/// Axis-aligned box of cell indices, inclusive on both ends: columns
+/// [x0, x1], rows [y0, y1]. The default-constructed box is empty. The grid
+/// engine's coarse-to-fine pyramid uses boxes as per-node regions of
+/// interest: after a level transition the belief's support is known, so the
+/// dense per-cell loops only visit rows inside the box (cells outside are
+/// exact zeros by construction).
+struct CellBox {
+  std::int32_t x0 = 0, x1 = -1;
+  std::int32_t y0 = 0, y1 = -1;
+
+  [[nodiscard]] bool empty() const noexcept { return x1 < x0 || y1 < y0; }
+  [[nodiscard]] std::size_t width() const noexcept {
+    return empty() ? 0 : static_cast<std::size_t>(x1 - x0 + 1);
+  }
+  [[nodiscard]] std::size_t height() const noexcept {
+    return empty() ? 0 : static_cast<std::size_t>(y1 - y0 + 1);
+  }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return width() * height();
+  }
+  [[nodiscard]] bool is_full(std::size_t side) const noexcept {
+    return x0 == 0 && y0 == 0 &&
+           x1 == static_cast<std::int32_t>(side) - 1 &&
+           y1 == static_cast<std::int32_t>(side) - 1;
+  }
+  /// The whole grid.
+  [[nodiscard]] static CellBox full(std::size_t side) noexcept {
+    const auto s = static_cast<std::int32_t>(side);
+    return {0, s - 1, 0, s - 1};
+  }
+  /// Grown by `margin` cells on every edge, clipped to the grid.
+  [[nodiscard]] CellBox dilated(std::int32_t margin,
+                                std::size_t side) const noexcept;
+};
+
 /// Numeric kernels over contiguous mass buffers. Every function asserts the
 /// buffer sizes it needs; none allocates (sparsify_into reuses caller
 /// scratch).
+///
+/// The dense loops route through the runtime-dispatched SIMD primitives in
+/// support/simd.hpp; with `BNLOC_SIMD=off` they reproduce the historical
+/// scalar loops bit for bit. The `_in` variants restrict work to a CellBox
+/// under the caller-guaranteed invariant that the mass outside the box is
+/// exactly zero; a full box delegates to the whole-buffer form, so the two
+/// spellings are bit-identical there.
 namespace beliefops {
 
 /// Reset to the uniform distribution.
@@ -116,8 +158,60 @@ void sparsify_into(std::span<const double> mass, double mass_fraction,
 
 /// Maximum entry of a non-negative buffer (0 for an empty or all-zero
 /// one). Bit-equal to a std::max_element scan — max is exact under any
-/// association — but laid out as independent chains so it vectorizes.
+/// association — so every SIMD mode returns the same value.
 double peak(std::span<const double> mass) noexcept;
+
+// --- Box-restricted variants (pyramid ROI) -------------------------------
+// Caller invariant: mass outside `box` is exactly zero. Each delegates to
+// the whole-buffer form when the box covers the grid.
+
+/// Pointwise multiply inside the box (factor + floor), renormalizing over
+/// the box. Falls back to uniform-in-box if the box mass vanishes.
+void multiply_in(std::span<double> mass, std::span<const double> factor,
+                 double floor, std::size_t side, const CellBox& box);
+
+/// Renormalize over the box (uniform-in-box fallback).
+void normalize_in(std::span<double> mass, std::size_t side,
+                  const CellBox& box) noexcept;
+
+/// Damping restricted to the box: mass = (1-lambda)*mass + lambda*previous.
+void mix_in(std::span<double> mass, std::span<const double> previous,
+            double lambda, std::size_t side, const CellBox& box) noexcept;
+
+/// Half L1 distance when both buffers are zero outside the box.
+[[nodiscard]] double total_variation_in(std::span<const double> a,
+                                        std::span<const double> b,
+                                        std::size_t side, const CellBox& box);
+
+/// Copy the box rows of `from` onto `to` (outside the box `to` is
+/// untouched; callers keep it zero).
+void copy_in(std::span<const double> from, std::span<double> to,
+             std::size_t side, const CellBox& box) noexcept;
+
+/// Zero everything outside the box, renormalize inside (uniform-in-box
+/// fallback). Used to mask a level's prior to a node's ROI.
+void mask_in(std::span<double> mass, std::size_t side, const CellBox& box);
+
+/// Rasterize a prior inside the box only (density at cell centers,
+/// normalized over the box; uniform-in-box fallback). Caller keeps the
+/// outside zero — equivalent to set_from_prior + mask_in without paying
+/// for the cells the mask would discard.
+void set_from_prior_in(const GridShape& shape, std::span<double> mass,
+                       const PositionPrior& prior, const CellBox& box);
+
+/// Bounding box of cells with mass >= peak * peak_fraction. Full grid when
+/// the buffer has no positive mass.
+[[nodiscard]] CellBox support_box(std::span<const double> mass,
+                                  std::size_t side,
+                                  double peak_fraction) noexcept;
+
+/// sparsify_into restricted to the box: only box cells are candidates for
+/// the partial sort. With the zero-outside invariant the selected set is
+/// the same as the whole-grid scan's (ties aside), at box cost.
+void sparsify_in(std::span<const double> mass, std::size_t side,
+                 const CellBox& box, double mass_fraction,
+                 std::size_t max_cells, SparseBelief& out,
+                 std::vector<std::uint32_t>& order_scratch);
 
 }  // namespace beliefops
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/assert.hpp"
+#include "support/simd.hpp"
 
 namespace bnloc {
 
@@ -103,14 +104,46 @@ RangeKernel RangeKernel::make_connectivity(const RadioSpec& radio,
 }
 
 void RangeKernel::accumulate(const SparseBelief& src, std::span<double> out,
-                             std::size_t side) const {
+                             std::size_t side, const CellBox* clip) const {
   BNLOC_ASSERT(out.size() == side * side, "output grid shape mismatch");
   const auto s = static_cast<std::int32_t>(side);
   double* const grid = out.data();
   const double* const weights = weights_.data();
+  if (clip != nullptr && !clip->is_full(side)) {
+    // ROI replay: every run is clipped against the box instead of the grid
+    // border. The surviving slices are the same dense axpys, just shorter.
+    for (std::size_t e = 0; e < src.cells.size(); ++e) {
+      const auto cell = src.cells[e];
+      const double m = src.mass[e];
+      const auto cx = static_cast<std::int32_t>(cell % side);
+      const auto cy = static_cast<std::int32_t>(cell / side);
+      for (const Run& run : runs_) {
+        const std::int32_t y = cy + run.dy;
+        if (y < clip->y0 || y > clip->y1) continue;
+        const std::int32_t x0 = cx + run.dx0;
+        const std::int32_t lo = std::max(x0, clip->x0);
+        const std::int32_t hi = std::min(
+            x0 + static_cast<std::int32_t>(run.len), clip->x1 + 1);
+        if (lo >= hi) continue;
+        simd::axpy(grid + static_cast<std::size_t>(y) * side + lo,
+                   weights + run.w0 + (lo - x0), m,
+                   static_cast<std::size_t>(hi - lo));
+      }
+    }
+    return;
+  }
   const std::int32_t* const flat = flat_off_.data();
   const std::size_t stamps = weights_.size();
   const bool flat_usable = s == side_ && !flat_off_.empty();
+  // Vector interior replay pays an indirect call per run, so it only wins
+  // when runs are long enough to amortize it (fine grids, wide kernels).
+  // Each output cell receives exactly one addition per replay, so the
+  // per-run order is bit-equivalent to the flat stamp order; the scalar
+  // mode still takes the flat loop to keep the historical instruction
+  // stream (and its codegen) untouched.
+  const bool vector_runs = !runs_.empty() &&
+                           weights_.size() >= runs_.size() * 8 &&
+                           simd::active_mode() != simd::Mode::scalar;
   for (std::size_t e = 0; e < src.cells.size(); ++e) {
     const auto cell = src.cells[e];
     const double m = src.mass[e];
@@ -124,6 +157,11 @@ void RangeKernel::accumulate(const SparseBelief& src, std::span<double> out,
     if (flat_usable && cx + min_dx_ >= 0 && cx + max_dx_ < s &&
         cy + min_dy_ >= 0 && cy + max_dy_ < s) {
       double* const o = grid + cell;
+      if (vector_runs) {
+        for (const Run& run : runs_)
+          simd::axpy(o + run.dy * s + run.dx0, weights + run.w0, m, run.len);
+        continue;
+      }
       for (std::size_t k = 0; k < stamps; ++k) o[flat[k]] += m * weights[k];
       continue;
     }
@@ -147,13 +185,23 @@ void RangeKernel::accumulate(const SparseBelief& src, std::span<double> out,
 }
 
 double RangeKernel::correlate(const SparseBelief& src, std::span<double> out,
-                              std::size_t side) const {
-  std::fill(out.begin(), out.end(), 0.0);
-  accumulate(src, out, side);
+                              std::size_t side, const CellBox* clip) const {
+  const bool clipped = clip != nullptr && !clip->is_full(side);
+  if (clipped) {
+    for (std::int32_t y = clip->y0; y <= clip->y1; ++y)
+      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(
+                                    static_cast<std::size_t>(y) * side +
+                                    static_cast<std::size_t>(clip->x0)),
+                  clip->width(), 0.0);
+  } else {
+    std::fill(out.begin(), out.end(), 0.0);
+  }
+  accumulate(src, out, side, clip);
   if (src.cells.empty() || weights_.empty()) return 0.0;
   // Bounding box of every touched cell: the summary's cell extent dilated
-  // by the kernel footprint, clipped to the grid. Normalization only needs
-  // to look here — everything outside is an exact zero either way.
+  // by the kernel footprint, clipped to the grid (and to the ROI box when
+  // one is given). Normalization only needs to look here — everything
+  // outside is an exact zero (or, under a clip, never read downstream).
   const auto s = static_cast<std::int32_t>(side);
   std::int32_t cx_lo = s, cx_hi = -1, cy_lo = s, cy_hi = -1;
   for (const std::uint32_t cell : src.cells) {
@@ -164,10 +212,12 @@ double RangeKernel::correlate(const SparseBelief& src, std::span<double> out,
     cy_lo = std::min(cy_lo, cy);
     cy_hi = std::max(cy_hi, cy);
   }
-  const std::int32_t x0 = std::max(cx_lo + min_dx_, std::int32_t{0});
-  const std::int32_t x1 = std::min(cx_hi + max_dx_, s - 1);
-  const std::int32_t y0 = std::max(cy_lo + min_dy_, std::int32_t{0});
-  const std::int32_t y1 = std::min(cy_hi + max_dy_, s - 1);
+  const std::int32_t x0 =
+      std::max(cx_lo + min_dx_, clipped ? clip->x0 : std::int32_t{0});
+  const std::int32_t x1 = std::min(cx_hi + max_dx_, clipped ? clip->x1 : s - 1);
+  const std::int32_t y0 =
+      std::max(cy_lo + min_dy_, clipped ? clip->y0 : std::int32_t{0});
+  const std::int32_t y1 = std::min(cy_hi + max_dy_, clipped ? clip->y1 : s - 1);
   if (x0 > x1 || y0 > y1) return 0.0;
   const auto row_len = static_cast<std::size_t>(x1 - x0 + 1);
   double peak = 0.0;
@@ -181,7 +231,7 @@ double RangeKernel::correlate(const SparseBelief& src, std::span<double> out,
   for (std::int32_t y = y0; y <= y1; ++y) {
     double* const row =
         out.data() + static_cast<std::size_t>(y) * side + x0;
-    for (std::size_t t = 0; t < row_len; ++t) row[t] /= peak;
+    simd::div_all(row, peak, row_len);
   }
   return peak;
 }
