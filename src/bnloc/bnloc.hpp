@@ -45,7 +45,9 @@
 #include "inference/kernel_cache.hpp"
 #include "inference/particle_set.hpp"
 #include "inference/pyramid.hpp"
+#include "net/async_radio.hpp"
 #include "net/comm_stats.hpp"
+#include "net/summary_channel.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"

@@ -10,6 +10,8 @@
 
 #include <cstddef>
 
+#include "net/async_radio.hpp"
+
 namespace bnloc {
 
 /// Fault countermeasures (F13). All off by default; every field is a no-op
@@ -34,6 +36,46 @@ struct RobustnessConfig {
   /// undelivered rounds, so dead neighbors decay out of the posterior
   /// instead of freezing it. 0 disables (the non-robust behavior).
   std::size_t stale_ttl = 0;
+  /// Partial-neighborhood gate: skip a node's belief update in rounds where
+  /// fewer than this fraction of its neighbors are usable (heard from and
+  /// not TTL-stale). Holding the previous belief beats integrating a
+  /// neighborhood that is mostly silence — during a partition, an update
+  /// from the 1-2 reachable neighbors would drag the posterior toward
+  /// whatever side of the cut they happen to sit on; under the async
+  /// transport it also keeps early rounds from committing to straggler
+  /// partial inboxes while summaries are still in flight. 0 disables.
+  double update_quorum = 0.0;
+  /// Maximum consecutive rounds the quorum gate may hold a node. When the
+  /// streak is exhausted the gate *disarms* — the node updates with
+  /// whatever is reachable — until a full quorum is next observed, which
+  /// re-arms it. This bounds how long a permanent cut can freeze a node,
+  /// and it makes starts where quorum is structurally unreachable
+  /// self-releasing instead of deadlocked: with diffuse priors nobody has
+  /// passed the informative-coverage publish gate yet, so a patience-less
+  /// whole-neighborhood quorum would hold every node forever (nobody
+  /// updates because nobody is informative because nobody updates).
+  std::size_t quorum_patience = 4;
+};
+
+/// Transport selection and async-degradation knobs, shared by every engine.
+/// Defaults preserve the synchronous lockstep transport; `async = true`
+/// swaps in the event-driven AsyncRadio (net/async_radio.hpp) plus the
+/// graceful-degradation ladder (sequence-gated summaries, heartbeats,
+/// store-and-forward re-entry).
+struct TransportConfig {
+  bool async = false;
+  /// Link-layer parameters for the async transport (loss, latency, retry
+  /// ladder, duty cycle, churn, partitions). Ignored when `async` is false.
+  AsyncRadioConfig radio;
+  /// Heartbeat republish period, in rounds: a quiet (converged) node whose
+  /// last summary may have been dropped re-broadcasts at least this often,
+  /// so silence is never mistaken for agreement. 0 disables.
+  std::size_t heartbeat_rounds = 8;
+  /// Warm re-entry: when a node reboots, each live published neighbor
+  /// store-and-forward relays its newest summary to it, re-seeding the
+  /// rebooted node's inbox in one hop instead of waiting out the
+  /// publish-gate silence of converged neighbors.
+  bool reboot_relays = true;
 };
 
 /// Outer-loop iteration and link-layer knobs shared by every engine.

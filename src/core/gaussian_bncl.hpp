@@ -28,6 +28,14 @@ struct GaussianBnclConfig {
   /// weight w = k*sigma/|r|). The ε-contamination fields are unused here.
   RobustnessConfig robustness;
   double huber_k = 1.5;  ///< Huber gate width, in sigmas.
+
+  /// Transport selection (PR6); see core/engine_config.hpp. This engine
+  /// broadcasts every round, so under the async transport each round's
+  /// Gaussian summary becomes a sequence-numbered packet and receivers fold
+  /// in whatever their inbox last accepted (sequence-gated against
+  /// duplicates and reordering). Heartbeats and reboot relays are moot here
+  /// — the every-round publish already re-seeds rebooted neighbors.
+  TransportConfig transport;
 };
 
 class GaussianBncl final : public Localizer {
@@ -35,8 +43,11 @@ class GaussianBncl final : public Localizer {
   explicit GaussianBncl(GaussianBnclConfig config = {});
 
   [[nodiscard]] std::string name() const override {
-    return config_.robustness.robust_likelihood ? "bncl-gauss-robust"
-                                                : "bncl-gauss";
+    std::string name = config_.robustness.robust_likelihood
+                           ? "bncl-gauss-robust"
+                           : "bncl-gauss";
+    if (config_.transport.async) name += "-async";
+    return name;
   }
   [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
                                             Rng& rng) const override;

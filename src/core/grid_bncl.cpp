@@ -9,6 +9,7 @@
 #include "inference/kernel_cache.hpp"
 #include "inference/pyramid.hpp"
 #include "inference/range_kernel.hpp"
+#include "net/summary_channel.hpp"
 #include "net/sync_radio.hpp"
 #include "obs/telemetry.hpp"
 #include "support/assert.hpp"
@@ -25,12 +26,19 @@ GridBncl::GridBncl(GridBnclConfig config) : config_(std::move(config)) {
                "pyramid needs at least one level");
   BNLOC_ASSERT(config_.pyramid_roi_margin >= 0,
                "ROI margin cannot be negative");
+  BNLOC_ASSERT(!config_.transport.async ||
+                   config_.schedule == UpdateSchedule::jacobi,
+               "async transport requires the Jacobi schedule");
+  BNLOC_ASSERT(config_.robustness.update_quorum >= 0.0 &&
+                   config_.robustness.update_quorum <= 1.0,
+               "update quorum must be a fraction");
 }
 
 std::string GridBncl::name() const {
   std::string name =
       config_.use_negative_evidence ? "bncl-grid" : "bncl-grid-noneg";
   if (config_.robustness.robust_likelihood) name += "-robust";
+  if (config_.transport.async) name += "-async";
   return name;
 }
 
@@ -180,14 +188,57 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   std::uint64_t pub_seq = 0;
   std::vector<unsigned char> ever_published(n, 0);
 
-  SyncRadio radio(scenario.graph, config_.iteration.packet_loss,
-                  rng.split(0x5ad10), scenario.faults.death_round);
-  const bool always_publish = config_.iteration.packet_loss > 0.0;
+  // Transport. Both radios draw from the same substream salt, so a config
+  // differing only in `transport.async` compares the same scenario under
+  // the two link layers. The sync radio now also honors a reboot schedule
+  // (battery-swap recovery); the async radio adds the full event-driven
+  // link layer plus the SummaryChannel that binds accepted sequence numbers
+  // back to payloads.
+  const bool async = config_.transport.async;
+  std::optional<SyncRadio> sync_radio;
+  std::optional<AsyncRadio> async_radio;
+  std::optional<SummaryChannel<SparseBelief>> channel;
+  if (async) {
+    async_radio.emplace(scenario.graph, config_.transport.radio,
+                        rng.split(0x5ad10), scenario.faults.death_round,
+                        scenario.faults.reboot_round);
+    channel.emplace(scenario.graph, *async_radio);
+  } else {
+    sync_radio.emplace(scenario.graph, config_.iteration.packet_loss,
+                       rng.split(0x5ad10), scenario.faults.death_round,
+                       scenario.faults.reboot_round);
+  }
+  const auto radio_crashed = [&](std::size_t u) {
+    return async ? async_radio->crashed(u) : sync_radio->crashed(u);
+  };
+  const auto radio_stats = [&]() -> const CommStats& {
+    return async ? async_radio->stats() : sync_radio->stats();
+  };
+  const bool always_publish = !async && config_.iteration.packet_loss > 0.0;
+  const std::size_t heartbeat =
+      async ? config_.transport.heartbeat_rounds : 0;
+  const double quorum = config_.robustness.update_quorum;
   // Round a neighbor's summary was last delivered, per directed CSR slot
-  // (receiver-side); drives the stale-belief TTL. Indexed by the global
-  // round counter, so it carries across pyramid levels unchanged.
+  // (receiver-side); drives the stale-belief TTL under the sync transport
+  // (the async channel tracks its own accepted rounds). Indexed by the
+  // global round counter, so it carries across pyramid levels unchanged.
   std::vector<std::size_t> last_heard(
-      config_.robustness.stale_ttl > 0 ? n_links : 0, 0);
+      !async && config_.robustness.stale_ttl > 0 ? n_links : 0, 0);
+  // Round each node last published, for the async heartbeat: a converged
+  // node re-announces at least every `heartbeat` rounds so a receiver whose
+  // last copy was dropped is not starved forever by the TV gate.
+  std::vector<std::size_t> last_pub_round(heartbeat > 0 ? n : 0, 0);
+  // Quorum-gate state machine, per node: `armed` starts set (the gate may
+  // hold from round one — under the async transport that synchronizes the
+  // bootstrap against in-flight first summaries), disarms after
+  // `quorum_patience` consecutive holds, and re-arms whenever a full
+  // quorum is observed. Written only by the owning node in the update
+  // sweep; carries across pyramid levels.
+  std::vector<unsigned char> quorum_armed(quorum > 0.0 ? n : 0, 1);
+  std::vector<std::uint32_t> quorum_streak(quorum > 0.0 ? n : 0, 0);
+  // Nodes rebooting in the current round (sync: just_rebooted scan; async:
+  // the radio's list) — the cold-restart hook.
+  std::vector<std::uint32_t> rebooted_scratch;
 
   // --- Cross-level belief state -------------------------------------------
   // The current beliefs and the last-published dense copies carry across
@@ -204,6 +255,10 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   // loop takes no telemetry lock.
   std::vector<std::uint32_t> node_msgs_computed(n, 0), node_msgs_reused(n, 0);
   std::vector<std::uint32_t> node_prods_reused(n, 0);
+  // Nodes whose update was held this round by the partial-neighborhood
+  // quorum gate (telemetry; written per node in the parallel sweep, summed
+  // serially).
+  std::vector<unsigned char> node_quorum_held(n, 0);
   // Publish-phase two-pass state: pass 1 fills each node's candidate
   // summary in parallel; pass 2 commits versions and metered traffic
   // serially in node order (bit-identical at any thread count).
@@ -312,6 +367,14 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           prev_pub[i] = upsample_summary(prev_shape, shape, prev_pub[i]);
         }
       }
+      // Async: the channel's stored payloads (send histories awaiting
+      // retried deliveries, and every receiver inbox) must be re-expressed
+      // on the new grid too — receiver-locally, no radio traffic, same as
+      // the cur_pub/prev_pub translation above.
+      if (async && lvl > 0)
+        channel->transform([&](SparseBelief& s) {
+          s = upsample_summary(prev_shape, shape, s);
+        });
       belief_opt.emplace(std::move(next_belief));
       last_pub_opt.emplace(std::move(next_last_pub));
     }
@@ -446,7 +509,68 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
 
     for (std::size_t level_round = 0; level_round < level_cap;
          ++level_round, ++iter) {
-      radio.begin_round();
+      if (async)
+        channel->begin_round();
+      else
+        sync_radio->begin_round();
+
+      // Reboot cold restart. A rebooted node's RAM is gone: its belief
+      // restarts from the prior, its publish state resets (so the
+      // informative/TV gates treat it as a newcomer), and its cached
+      // product is invalid. Receiver-side state differs per transport: the
+      // async channel already wiped the inbox; the sync radio's shared
+      // cur_pub/prev_pub model the *senders'* state and stay readable (the
+      // idealization is a flash-persisted summary cache), with a TTL grace
+      // so retirement restarts from the reboot round.
+      std::span<const std::uint32_t> rebooted;
+      if (async) {
+        rebooted = async_radio->rebooted_this_round();
+      } else if (!scenario.faults.reboot_round.empty()) {
+        rebooted_scratch.clear();
+        for (std::size_t u = 0; u < n; ++u)
+          if (sync_radio->just_rebooted(u))
+            rebooted_scratch.push_back(static_cast<std::uint32_t>(u));
+        rebooted = rebooted_scratch;
+      }
+      for (const std::uint32_t r : rebooted) {
+        if (acts_anchor[r]) {  // an anchor's state is its surveyed position
+          continue;
+        }
+        copy_belief(prior_grid[r], belief[r]);
+        copy_belief(prior_grid[r], staged[r]);
+        const std::span<double> lp = last_pub_dense[r];
+        std::fill(lp.begin(), lp.end(), 0.0);
+        ever_published[r] = 0;
+        cur_pub[r] = SparseBelief{};
+        prev_pub[r] = SparseBelief{};
+        cur_ver[r] = 0;
+        prev_ver[r] = 0;
+        if (reuse_products) have_product[r] = 0;
+        if (!last_heard.empty())
+          for (std::size_t s = kernel_offset[r]; s < kernel_offset[r + 1];
+               ++s)
+            last_heard[s] = iter + 1;
+        // A fresh boot re-arms the quorum gate: wait for the re-entry
+        // relays to re-fill the inbox before committing to an update.
+        if (!quorum_armed.empty()) {
+          quorum_armed[r] = 1;
+          quorum_streak[r] = 0;
+        }
+        obs::count("grid.reboots");
+      }
+      // Warm re-entry (async): each live published neighbor
+      // store-and-forward relays its newest summary to the rebooted node,
+      // re-seeding its inbox in one hop instead of waiting out the TV-gate
+      // silence of converged neighbors.
+      if (async && config_.transport.reboot_relays) {
+        for (const std::uint32_t r : rebooted) {
+          for (const Neighbor& nb : scenario.graph.neighbors(r)) {
+            if (async_radio->crashed(nb.node) || !ever_published[nb.node])
+              continue;
+            channel->relay(nb.node, r, cur_pub[nb.node].payload_bytes());
+          }
+        }
+      }
 
       // Publish phase: decide who broadcasts this round. A crashed node's
       // published state freezes at its last alive summary — neighbors keep
@@ -457,7 +581,14 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       const auto decide_publish = [&](std::size_t u,
                                       std::vector<std::uint32_t>& oscratch) {
         will_publish[u] = 0;
-        if (radio.crashed(u)) return;
+        if (radio_crashed(u)) return;
+        // Heartbeat (async): a quiet node re-announces at least every
+        // `heartbeat` rounds. Under a lossy async link a converged node's
+        // final summary can simply never have arrived somewhere — and the
+        // TV gate would keep it silent forever, starving that receiver.
+        const bool force_heartbeat =
+            heartbeat > 0 && ever_published[u] &&
+            iter + 1 - last_pub_round[u] >= heartbeat;
         // Quiet-node short circuit: once a node has published (and nothing
         // forces re-broadcast), the decision reduces to the re-broadcast TV
         // gate — evaluated first so a silent node never pays for the
@@ -465,7 +596,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         // either way a quiet node does not publish. All three dense steps
         // (TV gate, sparsify, last-published copy) stay inside the node's
         // ROI — both buffers are zero outside it.
-        if (ever_published[u] && !always_publish &&
+        if (ever_published[u] && !always_publish && !force_heartbeat &&
             beliefops::total_variation_in(belief[u], last_pub_dense[u], side,
                                           roi[u]) <= config_.rebroadcast_tol)
           return;
@@ -500,7 +631,12 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         cur_pub[u] = std::move(pub_candidate[u]);
         cur_ver[u] = ver;
         ever_published[u] = 1;
-        radio.record_broadcast(u, cur_pub[u].payload_bytes());
+        if (async) {
+          channel->publish(u, ver, cur_pub[u], cur_pub[u].payload_bytes());
+          if (heartbeat > 0) last_pub_round[u] = iter + 1;
+        } else {
+          sync_radio->record_broadcast(u, cur_pub[u].payload_bytes());
+        }
       }
 
       // Update phase: rebuild each unknown's belief from its prior and the
@@ -528,13 +664,81 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       const auto update_node = [&](std::size_t i,
                                    std::vector<double>& scratch) {
         if (acts_anchor[i]) return;
-        if (radio.crashed(i)) return;  // dead nodes stop computing too
+        if (radio_crashed(i)) return;  // dead nodes stop computing too
         const std::span<double> next = staged[i];
         const auto nbs = scenario.graph.neighbors(i);
         const CellBox& box = roi[i];
+        const std::size_t ttl = config_.robustness.stale_ttl;
+
+        // Is the slot's summary usable this round, and under which version?
+        // The one predicate both transports share: the async channel serves
+        // its inbox (whatever was last *accepted*, however stale, until the
+        // TTL retires it); the sync radio serves the sender's current or
+        // previous summary depending on this round's delivery. Pure reads —
+        // callable any number of times per round.
+        const auto slot_input = [&](std::size_t k, std::size_t slot)
+            -> std::pair<const SparseBelief*, std::uint64_t> {
+          if (async) {
+            const std::uint64_t ver = channel->version(slot);
+            if (ver == 0) return {nullptr, 0};
+            if (ttl > 0 && iter + 1 - channel->heard_round(slot) > ttl)
+              return {nullptr, kSigTtlSkip};
+            return {&channel->payload(slot), ver};
+          }
+          const std::size_t j = nbs[k].node;
+          const bool fresh = sync_radio->delivered(j, i);
+          if (ttl > 0) {
+            const std::size_t heard = fresh ? iter + 1 : last_heard[slot];
+            if (iter + 1 - heard > ttl) return {nullptr, kSigTtlSkip};
+          }
+          const SparseBelief* src = fresh ? &cur_pub[j] : &prev_pub[j];
+          return {src->empty() ? nullptr : src,
+                  fresh ? cur_ver[j] : prev_ver[j]};
+        };
+
+        // Partial-neighborhood quorum: when most of the neighborhood is
+        // unreachable (partition, mass loss, crash cluster, summaries
+        // still in flight), hold the previous belief instead of
+        // integrating the skewed remainder — an update from the 1-2
+        // reachable neighbors drags the posterior toward their side of the
+        // cut. Bounded patience keeps the gate from deadlocking starts
+        // where quorum is structurally unreachable (diffuse priors: nobody
+        // has published yet, so nobody can ever reach quorum): after
+        // `quorum_patience` consecutive holds the gate disarms and the
+        // node free-runs until a full quorum is next observed. The held
+        // node's cached product is invalidated: inputs may have changed
+        // while it was not looking.
+        if (quorum > 0.0 && !nbs.empty()) {
+          std::size_t usable = 0;
+          for (std::size_t k = 0; k < nbs.size(); ++k)
+            if (slot_input(k, kernel_offset[i] + k).first != nullptr)
+              ++usable;
+          const bool met = static_cast<double>(usable) >=
+                           quorum * static_cast<double>(nbs.size());
+          if (met) {
+            quorum_armed[i] = 1;
+            quorum_streak[i] = 0;
+          } else if (quorum_armed[i] &&
+                     quorum_streak[i] < config_.robustness.quorum_patience) {
+            ++quorum_streak[i];
+            node_quorum_held[i] = 1;
+            if (reuse_products) have_product[i] = 0;
+            // A held node still *listened*: the sync TTL bookkeeping must
+            // record this round's deliveries or held rounds would count as
+            // silence and retire perfectly live neighbors.
+            if (!async && ttl > 0)
+              for (std::size_t k = 0; k < nbs.size(); ++k)
+                if (sync_radio->delivered(nbs[k].node, i))
+                  last_heard[kernel_offset[i] + k] = iter + 1;
+            return;
+          } else if (quorum_armed[i]) {
+            quorum_armed[i] = 0;  // patience exhausted: free-run
+            quorum_streak[i] = 0;
+          }
+        }
 
         // Pre-pass: fold this round's inputs into the per-slot signatures
-        // (doing the TTL bookkeeping; the main loop's repeat of it is
+        // (doing the sync TTL bookkeeping; the main loop's repeat of it is
         // idempotent). If every signature is unchanged, the cached product
         // is exact and the message loop is skipped entirely.
         bool static_inputs = false;
@@ -543,13 +747,18 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           for (std::size_t k = 0; k < nbs.size(); ++k) {
             const std::size_t j = nbs[k].node;
             const std::size_t slot = kernel_offset[i] + k;
-            const bool fresh = radio.delivered(j, i);
-            std::uint64_t sig = fresh ? cur_ver[j] : prev_ver[j];
-            if (config_.robustness.stale_ttl > 0) {
-              std::size_t& heard = last_heard[slot];
-              if (fresh) heard = iter + 1;
-              else if (iter + 1 - heard > config_.robustness.stale_ttl)
-                sig = kSigTtlSkip;
+            std::uint64_t sig;
+            if (async) {
+              sig = slot_input(k, slot).second;
+            } else {
+              const bool fresh = sync_radio->delivered(j, i);
+              sig = fresh ? cur_ver[j] : prev_ver[j];
+              if (ttl > 0) {
+                std::size_t& heard = last_heard[slot];
+                if (fresh) heard = iter + 1;
+                else if (iter + 1 - heard > ttl)
+                  sig = kSigTtlSkip;
+              }
             }
             if (in_sig[slot] != sig) {
               in_sig[slot] = sig;
@@ -565,8 +774,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
               // version alone identifies the contribution; a crash only
               // matters when the TTL retires frozen summaries.
               std::uint64_t sig = cur_ver[far];
-              if (config_.robustness.stale_ttl > 0 && radio.crashed(far))
-                sig = kSigTtlSkip;
+              if (ttl > 0 && radio_crashed(far)) sig = kSigTtlSkip;
               if (in_sig[slot] != sig) {
                 in_sig[slot] = sig;
                 static_inputs = false;
@@ -586,21 +794,17 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
 
         beliefops::copy_in(prior_grid[i], next, side, box);
         for (std::size_t k = 0; k < nbs.size(); ++k) {
-          const std::size_t j = nbs[k].node;
           const std::size_t slot = kernel_offset[i] + k;
-          const bool fresh = radio.delivered(j, i);
-          if (config_.robustness.stale_ttl > 0) {
-            std::size_t& heard = last_heard[slot];
-            if (fresh) heard = iter + 1;
-            // Undelivered for longer than the TTL: the neighbor is presumed
-            // dead and its stale summary decays out of the product.
-            else if (iter + 1 - heard > config_.robustness.stale_ttl)
-              continue;
-          }
-          const SparseBelief& src = fresh ? cur_pub[j] : prev_pub[j];
+          // Sync TTL bookkeeping (idempotent with the prepass): a slot
+          // undelivered for longer than the TTL retires — the neighbor is
+          // presumed dead and its stale summary decays out of the product.
+          if (!async && ttl > 0 && sync_radio->delivered(nbs[k].node, i))
+            last_heard[slot] = iter + 1;
+          const auto [src_ptr, ver] = slot_input(k, slot);
+          if (src_ptr == nullptr) continue;
+          const SparseBelief& src = *src_ptr;
           if (src.empty()) continue;
           if (reuse) {
-            const std::uint64_t ver = fresh ? cur_ver[j] : prev_ver[j];
             const std::span<double> cached = (*msg_store)[slot];
             if (msg_ver[slot] == ver) {
               ++node_msgs_reused[i];
@@ -634,9 +838,10 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           for (std::size_t k = 0; k < nls.size(); ++k) {
             const std::size_t far = nls[k];
             // With a TTL active, a dead node's frozen summary stops being
-            // usable as non-link evidence as well.
-            if (config_.robustness.stale_ttl > 0 && radio.crashed(far))
-              continue;
+            // usable as non-link evidence as well. (Both transports read
+            // cur_pub[far] here — two-hop summaries are not on the radio at
+            // all; the non-link factor is an idealization either way.)
+            if (ttl > 0 && radio_crashed(far)) continue;
             const SparseBelief& src = cur_pub[far];
             // Negative evidence only pays off against a concentrated belief.
             if (src.empty() || src.covered_fraction < 0.9) continue;
@@ -681,6 +886,8 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       std::fill(node_msgs_computed.begin(), node_msgs_computed.end(), 0U);
       std::fill(node_msgs_reused.begin(), node_msgs_reused.end(), 0U);
       std::fill(node_prods_reused.begin(), node_prods_reused.end(), 0U);
+      std::fill(node_quorum_held.begin(), node_quorum_held.end(),
+                static_cast<unsigned char>(0));
       if (pool && !gauss_seidel) {
         parallel_for_chunks(*pool, n, [&](std::size_t begin, std::size_t end) {
           std::vector<double> scratch(cells);
@@ -693,6 +900,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       double sum_change = 0.0;
       std::size_t changed_nodes = 0;
       std::uint64_t msgs_computed = 0, msgs_reused = 0, prods_reused = 0;
+      std::size_t quorum_held = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (node_change[i] >= 0.0) {
           sum_change += node_change[i];
@@ -701,14 +909,16 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         msgs_computed += node_msgs_computed[i];
         msgs_reused += node_msgs_reused[i];
         prods_reused += node_prods_reused[i];
+        quorum_held += node_quorum_held[i];
       }
       obs::count("grid.messages.computed", msgs_computed);
       obs::count("grid.messages.reused", msgs_reused);
       obs::count("grid.products.reused", prods_reused);
+      if (quorum_held) obs::count("grid.quorum_holds", quorum_held);
       if (!gauss_seidel) {
         const auto commit_chunk = [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i)
-            if (!acts_anchor[i] && !radio.crashed(i))
+            if (!acts_anchor[i] && !radio_crashed(i) && !node_quorum_held[i])
               beliefops::copy_in(staged[i], belief[i], side, roi[i]);
         };
         if (pool)
@@ -729,16 +939,31 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         emit_estimates();
         obs::RobustActivity robust;
         robust.anchors_demoted = anchors_demoted;
-        robust.stale_links = obs::stale_link_count(
-            last_heard, iter + 1, config_.robustness.stale_ttl);
-        robust.crashed_nodes = radio.crashed_count();
+        robust.quorum_held = quorum_held;
+        if (async) {
+          if (config_.robustness.stale_ttl > 0) {
+            std::size_t stale = 0;
+            for (std::size_t s = 0; s < n_links; ++s)
+              if (channel->has(s) && iter + 1 - channel->heard_round(s) >
+                                         config_.robustness.stale_ttl)
+                ++stale;
+            robust.stale_links = stale;
+          }
+          robust.crashed_nodes = async_radio->crashed_count();
+        } else {
+          robust.stale_links = obs::stale_link_count(
+              last_heard, iter + 1, config_.robustness.stale_ttl);
+          robust.crashed_nodes = sync_radio->crashed_count();
+        }
         obs::record_round(scenario, iter + 1, mean_change, result.estimates,
-                          radio.stats(), robust);
+                          radio_stats(), robust);
       }
       // Converged at this resolution: the finest level ends the run; a
-      // coarse level just hands over to the next rung early.
+      // coarse level just hands over to the next rung early. A round with
+      // quorum holds never counts: held nodes report no change precisely
+      // because the network is too degraded to update them.
       if (mean_change < config_.iteration.convergence_tol &&
-          level_round >= 2) {
+          level_round >= 2 && quorum_held == 0) {
         if (finest) result.converged = true;
         ++iter;
         break;
@@ -752,7 +977,8 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
 
   emit_estimates();
   result.iterations = iter;
-  result.comm = radio.stats();
+  result.comm = radio_stats();
+  if (async) result.transport_hash = async_radio->event_hash();
   result.seconds = watch.seconds();
   return result;
 }

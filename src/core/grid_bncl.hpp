@@ -92,6 +92,19 @@ struct GridBnclConfig {
   /// tail) so a single outlier link cannot veto the true position cell.
   RobustnessConfig robustness;
 
+  /// Transport selection (PR6); see core/engine_config.hpp. Default is the
+  /// synchronous lockstep radio (bit-identical to every prior run). With
+  /// `transport.async` the engine rides the event-driven AsyncRadio:
+  /// summaries become sequence-numbered packets with latency, retries, and
+  /// churn, receivers integrate whatever their inbox holds (however stale),
+  /// and the degradation ladder — TTL retirement, `robustness.update_quorum`
+  /// holds, heartbeat republish, store-and-forward reboot re-entry — keeps
+  /// the posterior honest. Async requires the Jacobi schedule (Gauss-Seidel
+  /// mutates mid-round state the transport snapshot cannot represent).
+  /// `iteration.packet_loss` is ignored in async mode: loss lives in
+  /// `transport.radio.loss` (per *attempt*, not per round).
+  TransportConfig transport;
+
   // --- Fast-path controls (PR4). All bit-identity-preserving: they change
   // --- wall-clock and memory only, never a single output bit. ------------
   /// Memoize annulus kernels on the exact measured distance and share them

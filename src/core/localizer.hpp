@@ -1,6 +1,7 @@
 // Public interface every localization algorithm in bnloc implements.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -26,6 +27,10 @@ struct LocalizationResult {
   std::size_t iterations = 0;
   bool converged = false;
   double seconds = 0.0;
+  /// AsyncRadio event-history digest (net/async_radio.hpp): two runs of the
+  /// same seeded configuration replayed the same transport history iff the
+  /// hashes match, at any thread count. 0 under the synchronous transport.
+  std::uint64_t transport_hash = 0;
 
   /// Convergence trace: per-iteration mean belief change (engines only).
   std::vector<double> change_per_iteration;

@@ -2,15 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "fault/anchor_vetting.hpp"
 #include "inference/particle_set.hpp"
+#include "net/summary_channel.hpp"
 #include "net/sync_radio.hpp"
 #include "obs/telemetry.hpp"
 #include "support/assert.hpp"
 #include "support/timer.hpp"
 
 namespace bnloc {
+
+namespace {
+
+/// What a node puts on the air each round: the subsampled cloud plus its RMS
+/// spread (the receiver-side informativeness gate travels with the payload).
+struct ParticleSummary {
+  std::vector<Vec2> pts;
+  double spread = 1e30;
+};
+
+}  // namespace
 
 ParticleBncl::ParticleBncl(ParticleBnclConfig config) : config_(config) {
   BNLOC_ASSERT(config_.particle_count >= 8, "too few particles");
@@ -73,17 +86,46 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   std::vector<double> cur_spread(n, 1e30), prev_spread(n, 1e30);
   const double spread_gate = config_.informative_spread * scenario.radio.range;
 
-  SyncRadio radio(scenario.graph, config_.iteration.packet_loss, rng.split(0x5ad10),
-                  scenario.faults.death_round);
+  // Transport: lockstep SyncRadio by default; the event-driven AsyncRadio
+  // plus a cloud-valued SummaryChannel with `transport.async` (same
+  // substream salt, so both link layers see the same scenario).
+  const bool async = config_.transport.async;
+  std::optional<SyncRadio> sync_radio;
+  std::optional<AsyncRadio> async_radio;
+  std::optional<SummaryChannel<ParticleSummary>> channel;
+  if (async) {
+    async_radio.emplace(scenario.graph, config_.transport.radio,
+                        rng.split(0x5ad10), scenario.faults.death_round,
+                        scenario.faults.reboot_round);
+    channel.emplace(scenario.graph, *async_radio);
+  } else {
+    sync_radio.emplace(scenario.graph, config_.iteration.packet_loss,
+                       rng.split(0x5ad10), scenario.faults.death_round,
+                       scenario.faults.reboot_round);
+  }
+  const auto radio_crashed = [&](std::size_t u) {
+    return async ? async_radio->crashed(u) : sync_radio->crashed(u);
+  };
+  const auto radio_stats = [&]() -> const CommStats& {
+    return async ? async_radio->stats() : sync_radio->stats();
+  };
   Rng work_rng = rng.split(0x40c);
+  const std::size_t ttl = config_.robustness.stale_ttl;
+  const double quorum = config_.robustness.update_quorum;
 
   // Per directed CSR slot (receiver-side): round a neighbor's cloud was
-  // last delivered; drives the stale-belief TTL.
+  // last delivered; drives the stale-belief TTL under the sync transport
+  // (the async channel tracks its own accepted rounds).
   std::vector<std::size_t> slot_offset(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i)
     slot_offset[i + 1] = slot_offset[i] + scenario.graph.degree(i);
-  std::vector<std::size_t> last_heard(
-      config_.robustness.stale_ttl > 0 ? slot_offset[n] : 0, 0);
+  std::vector<std::size_t> last_heard(!async && ttl > 0 ? slot_offset[n] : 0,
+                                      0);
+  // Quorum-gate state machine (see RobustnessConfig::quorum_patience):
+  // armed from round one, disarms after `quorum_patience` consecutive
+  // holds, re-arms on the next full quorum.
+  std::vector<unsigned char> quorum_armed(quorum > 0.0 ? n : 0, 1);
+  std::vector<std::uint32_t> quorum_streak(quorum > 0.0 ? n : 0, 0);
 
   std::vector<Vec2> prev_mean(n);
   for (std::size_t i = 0; i < n; ++i) prev_mean[i] = belief[i].mean();
@@ -94,23 +136,73 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   obs::PhaseTimer rounds_timer("particle.rounds");
   std::size_t iter = 0;
   for (; iter < config_.iteration.max_iterations; ++iter) {
-    radio.begin_round();
+    if (async)
+      channel->begin_round();
+    else
+      sync_radio->begin_round();
+    std::size_t quorum_held = 0;
+
+    // Reboot cold restart: the rebooted node re-draws its cloud from its
+    // prior (the RAM holding the refined particles is gone). Under the sync
+    // idealization the shared published snapshots stay readable with a TTL
+    // grace; the async channel has already wiped its inbox and history.
+    // Every-round publishing re-seeds neighbors from the next round on.
+    if (async) {
+      for (const std::uint32_t r : async_radio->rebooted_this_round()) {
+        if (acts_anchor[r]) continue;
+        belief[r] = ParticleSet::from_prior(prior_of(r), k_particles,
+                                            work_rng);
+        prev_mean[r] = belief[r].mean();
+        if (!quorum_armed.empty()) {
+          quorum_armed[r] = 1;
+          quorum_streak[r] = 0;
+        }
+        obs::count("particle.reboots");
+      }
+    } else if (!scenario.faults.reboot_round.empty()) {
+      for (std::size_t r = 0; r < n; ++r) {
+        if (!sync_radio->just_rebooted(r) || acts_anchor[r]) continue;
+        belief[r] = ParticleSet::from_prior(prior_of(r), k_particles,
+                                            work_rng);
+        prev_mean[r] = belief[r].mean();
+        cur_pub[r].clear();
+        prev_pub[r].clear();
+        cur_spread[r] = prev_spread[r] = 1e30;
+        if (!last_heard.empty())
+          for (std::size_t s = slot_offset[r]; s < slot_offset[r + 1]; ++s)
+            last_heard[s] = iter + 1;
+        if (!quorum_armed.empty()) {
+          quorum_armed[r] = 1;
+          quorum_streak[r] = 0;
+        }
+        obs::count("particle.reboots");
+      }
+    }
 
     // Publish: every node broadcasts a subsample of its cloud each round
     // (particle beliefs have no cheap silence criterion; this matches the
     // constant-duty-cycle NBP protocol). A crashed node's published cloud
     // freezes at its last alive state.
     for (std::size_t u = 0; u < n; ++u) {
-      if (radio.crashed(u)) continue;
+      if (radio_crashed(u)) continue;
       const auto idx =
           belief[u].subsample(config_.message_subsample, work_rng);
+      if (async) {
+        ParticleSummary summary;
+        summary.pts.reserve(idx.size());
+        for (std::size_t p : idx) summary.pts.push_back(belief[u].point(p));
+        summary.spread = belief[u].covariance().rms_radius();
+        const std::size_t bytes = summary.pts.size() * 8;
+        channel->publish(u, iter + 1, std::move(summary), bytes);
+        continue;
+      }
       prev_pub[u] = std::move(cur_pub[u]);
       prev_spread[u] = cur_spread[u];
       cur_pub[u].clear();
       cur_pub[u].reserve(idx.size());
       for (std::size_t p : idx) cur_pub[u].push_back(belief[u].point(p));
       cur_spread[u] = belief[u].covariance().rms_radius();
-      radio.record_broadcast(u, cur_pub[u].size() * 8);
+      sync_radio->record_broadcast(u, cur_pub[u].size() * 8);
     }
 
     // Update: refresh part of the cloud, then reweight against messages.
@@ -118,12 +210,21 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     const auto usable_cloud =
         [&](std::size_t from, std::size_t to,
             std::size_t k) -> const std::vector<Vec2>* {
-      const bool fresh = radio.delivered(from, to);
-      if (config_.robustness.stale_ttl > 0) {
+      if (async) {
+        const std::size_t slot = slot_offset[to] + k;
+        if (!channel->has(slot)) return nullptr;
+        if (ttl > 0 && iter + 1 - channel->heard_round(slot) > ttl)
+          return nullptr;
+        const ParticleSummary& s = channel->payload(slot);
+        if (s.pts.empty() || s.spread > spread_gate) return nullptr;
+        return &s.pts;
+      }
+      const bool fresh = sync_radio->delivered(from, to);
+      if (ttl > 0) {
         std::size_t& heard = last_heard[slot_offset[to] + k];
         if (fresh) heard = iter + 1;
         // Neighbor silent beyond the TTL: presumed dead, cloud retired.
-        else if (iter + 1 - heard > config_.robustness.stale_ttl)
+        else if (iter + 1 - heard > ttl)
           return nullptr;
       }
       const std::vector<Vec2>& cloud = fresh ? cur_pub[from] : prev_pub[from];
@@ -135,9 +236,39 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     std::size_t unknowns = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (acts_anchor[i]) continue;
-      if (radio.crashed(i)) continue;  // dead nodes stop computing too
+      if (radio_crashed(i)) continue;  // dead nodes stop computing too
       ParticleSet& b = belief[i];
       const auto nbs = scenario.graph.neighbors(i);
+
+      // Partial-neighborhood quorum: with most of the neighborhood
+      // unreachable, hold the cloud rather than reweight against the skewed
+      // remainder. Bounded patience (see RobustnessConfig) keeps the gate
+      // from deadlocking starts where quorum is structurally unreachable
+      // (diffuse priors: every cloud is wider than the spread gate, so
+      // nobody counts as usable): after `quorum_patience` consecutive
+      // holds the gate disarms until a full quorum is next observed.
+      // (usable_cloud's sync TTL bookkeeping is idempotent, so probing it
+      // here and reading it again below is safe — and a held node still
+      // records this round's deliveries.)
+      if (quorum > 0.0 && !nbs.empty()) {
+        std::size_t usable = 0;
+        for (std::size_t kk = 0; kk < nbs.size(); ++kk)
+          if (usable_cloud(nbs[kk].node, i, kk) != nullptr) ++usable;
+        const bool met = static_cast<double>(usable) >=
+                         quorum * static_cast<double>(nbs.size());
+        if (met) {
+          quorum_armed[i] = 1;
+          quorum_streak[i] = 0;
+        } else if (quorum_armed[i] &&
+                   quorum_streak[i] < config_.robustness.quorum_patience) {
+          ++quorum_streak[i];
+          ++quorum_held;
+          continue;
+        } else if (quorum_armed[i]) {
+          quorum_armed[i] = 0;  // patience exhausted: free-run
+          quorum_streak[i] = 0;
+        }
+      }
 
       // -- proposal refresh: prior samples + neighbor range-ring samples.
       std::vector<Vec2> pts(b.points().begin(), b.points().end());
@@ -201,14 +332,26 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
       for (std::size_t i = 0; i < n; ++i)
         if (!scenario.is_anchor[i]) traced_estimates[i] = prev_mean[i];
       obs::RobustActivity robust;
-      robust.stale_links = obs::stale_link_count(last_heard, iter + 1,
-                                                 config_.robustness.stale_ttl);
+      if (async) {
+        std::size_t stale = 0;
+        if (ttl > 0)
+          for (std::size_t s = 0; s < slot_offset[n]; ++s)
+            if (channel->has(s) && iter + 1 - channel->heard_round(s) > ttl)
+              ++stale;
+        robust.stale_links = stale;
+        robust.crashed_nodes = async_radio->crashed_count();
+      } else {
+        robust.stale_links = obs::stale_link_count(
+            last_heard, iter + 1, config_.robustness.stale_ttl);
+        robust.crashed_nodes = sync_radio->crashed_count();
+      }
       robust.anchors_demoted = anchors_demoted;
-      robust.crashed_nodes = radio.crashed_count();
+      robust.quorum_held = quorum_held;
       obs::record_round(scenario, iter + 1, avg_motion, traced_estimates,
-                        radio.stats(), robust);
+                        radio_stats(), robust);
     }
-    if (avg_motion < config_.iteration.convergence_tol && iter >= 2) {
+    if (avg_motion < config_.iteration.convergence_tol && quorum_held == 0 &&
+        iter >= 2) {
       result.converged = true;
       ++iter;
       break;
@@ -223,7 +366,8 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     result.covariances[i] = belief[i].covariance();
   }
   result.iterations = iter;
-  result.comm = radio.stats();
+  result.comm = radio_stats();
+  if (async) result.transport_hash = async_radio->event_hash();
   result.seconds = watch.seconds();
   return result;
 }

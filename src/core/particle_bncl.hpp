@@ -38,6 +38,13 @@ struct ParticleBnclConfig {
   /// likelihood in the particle reweighting so an NLOS outlier link cannot
   /// zero the particles near the true position.
   RobustnessConfig robustness;
+
+  /// Transport selection (PR6); see core/engine_config.hpp. Under the async
+  /// transport each round's subsampled cloud is a sequence-numbered packet;
+  /// receivers reweight against whatever cloud their inbox last accepted.
+  /// Like the Gaussian engine this one broadcasts every round, so
+  /// heartbeats and reboot relays are moot.
+  TransportConfig transport;
 };
 
 class ParticleBncl final : public Localizer {
@@ -45,8 +52,11 @@ class ParticleBncl final : public Localizer {
   explicit ParticleBncl(ParticleBnclConfig config = {});
 
   [[nodiscard]] std::string name() const override {
-    return config_.robustness.robust_likelihood ? "bncl-particle-robust"
-                                                : "bncl-particle";
+    std::string name = config_.robustness.robust_likelihood
+                           ? "bncl-particle-robust"
+                           : "bncl-particle";
+    if (config_.transport.async) name += "-async";
+    return name;
   }
   [[nodiscard]] LocalizationResult localize(const Scenario& scenario,
                                             Rng& rng) const override;

@@ -110,6 +110,11 @@ Scenario build_scenario(const ScenarioConfig& config) {
         s.reported_positions, s.is_anchor, s.field, anchor_fault_rng);
     s.faults.death_round =
         injector.schedule_crashes(config.node_count, crash_rng);
+    // Reboot draws ride the same crash stream *after* the death draws, and
+    // schedule_reboots consumes nothing when reboot_fraction is 0 — so
+    // every pre-existing crash-only scenario keeps its exact labels.
+    s.faults.reboot_round =
+        injector.schedule_reboots(s.faults.death_round, crash_rng);
     s.graph = Graph(config.node_count, edges);
     finalize_fault_labels(s.faults, s.graph, edges, edge_outlier);
   } else {

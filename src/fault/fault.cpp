@@ -93,6 +93,28 @@ std::vector<std::size_t> FaultInjector::schedule_crashes(
   return death;
 }
 
+std::vector<std::size_t> FaultInjector::schedule_reboots(
+    std::span<const std::size_t> death_rounds, Rng& rng) const {
+  if (spec_.reboot_fraction <= 0.0) return {};
+  BNLOC_ASSERT(spec_.reboot_delay_min <= spec_.reboot_delay_max,
+               "reboot delay window inverted");
+  BNLOC_ASSERT(spec_.reboot_delay_min >= 1,
+               "a node cannot reboot in its death round");
+  std::vector<std::size_t> reboot(death_rounds.size(), kNeverCrashes);
+  const std::size_t span =
+      spec_.reboot_delay_max - spec_.reboot_delay_min + 1;
+  std::size_t scheduled = 0;
+  for (std::size_t i = 0; i < death_rounds.size(); ++i) {
+    if (death_rounds[i] == kNeverCrashes) continue;
+    if (!rng.bernoulli(spec_.reboot_fraction)) continue;
+    reboot[i] =
+        death_rounds[i] + spec_.reboot_delay_min + rng.uniform_index(span);
+    ++scheduled;
+  }
+  if (scheduled) obs::count("fault.reboots_scheduled", scheduled);
+  return reboot;
+}
+
 void finalize_fault_labels(FaultLabels& labels, const Graph& graph,
                            std::span<const Edge> edges,
                            std::span<const unsigned char> edge_outlier) {

@@ -59,6 +59,13 @@ struct FaultSpec {
   double crash_fraction = 0.0;
   std::size_t crash_round_min = 2;
   std::size_t crash_round_max = 10;
+  /// Fraction of crashed nodes that come back (battery swap / watchdog
+  /// reboot). A recovering node's reboot round is its death round plus a
+  /// uniform delay from [reboot_delay_min, reboot_delay_max]. 0 keeps the
+  /// pre-PR6 semantics: crashes are permanent.
+  double reboot_fraction = 0.0;
+  std::size_t reboot_delay_min = 4;
+  std::size_t reboot_delay_max = 12;
   /// Combined with the scenario seed; the same (config, fault seed) pair
   /// yields byte-identical fault labels.
   std::uint64_t seed = 0;
@@ -81,6 +88,9 @@ struct FaultLabels {
   std::vector<unsigned char> anchor_faulty;
   /// Per node: round after which the node stops transmitting.
   std::vector<std::size_t> death_round;
+  /// Per node: round from which a crashed node transmits again
+  /// (kNeverCrashes = stays dead). Empty when reboot_fraction is 0.
+  std::vector<std::size_t> reboot_round;
   /// Per node: 1 when any fault touches the node (incident outlier link,
   /// faulty-anchor neighbor, or a crashed neighbor) — the evaluation split.
   std::vector<unsigned char> node_tainted;
@@ -114,6 +124,12 @@ class FaultInjector {
   /// Draw the per-node crash schedule.
   std::vector<std::size_t> schedule_crashes(std::size_t node_count,
                                             Rng& rng) const;
+
+  /// Draw the per-node reboot schedule for an already-drawn crash schedule.
+  /// Returns an empty vector when reboot_fraction is 0 (no draws consumed,
+  /// so existing crash-only scenarios replay bit-identically).
+  std::vector<std::size_t> schedule_reboots(
+      std::span<const std::size_t> death_rounds, Rng& rng) const;
 
   [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
 

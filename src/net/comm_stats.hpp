@@ -15,12 +15,19 @@ struct CommStats {
   std::size_t messages_sent = 0;      ///< broadcasts transmitted.
   std::size_t messages_received = 0;  ///< successful (node, neighbor) pairs.
   std::size_t bytes_sent = 0;         ///< payload bytes transmitted.
+  // Async-transport counters (zero under SyncRadio, which has no retries):
+  std::size_t messages_retried = 0;    ///< retransmission attempts.
+  std::size_t messages_dropped = 0;    ///< packets that exhausted retries.
+  std::size_t duplicates_rejected = 0; ///< receiver-side dedup discards.
 
   void merge(const CommStats& other) noexcept {
     rounds += other.rounds;
     messages_sent += other.messages_sent;
     messages_received += other.messages_received;
     bytes_sent += other.bytes_sent;
+    messages_retried += other.messages_retried;
+    messages_dropped += other.messages_dropped;
+    duplicates_rejected += other.duplicates_rejected;
   }
 
   [[nodiscard]] double messages_per_node(std::size_t nodes) const noexcept {

@@ -6,15 +6,22 @@
 namespace bnloc {
 
 SyncRadio::SyncRadio(const Graph& graph, double loss, Rng rng,
-                     std::span<const std::size_t> death_rounds)
+                     std::span<const std::size_t> death_rounds,
+                     std::span<const std::size_t> reboot_rounds)
     : graph_(&graph),
       loss_(loss),
       rng_(rng),
-      death_rounds_(death_rounds.begin(), death_rounds.end()) {
+      death_rounds_(death_rounds.begin(), death_rounds.end()),
+      reboot_rounds_(reboot_rounds.begin(), reboot_rounds.end()) {
   BNLOC_ASSERT(loss >= 0.0 && loss < 1.0, "loss probability out of range");
   BNLOC_ASSERT(death_rounds_.empty() ||
                    death_rounds_.size() == graph.node_count(),
                "death schedule size mismatch");
+  BNLOC_ASSERT(reboot_rounds_.empty() ||
+                   reboot_rounds_.size() == graph.node_count(),
+               "reboot schedule size mismatch");
+  BNLOC_ASSERT(reboot_rounds_.empty() || !death_rounds_.empty(),
+               "reboot schedule requires a death schedule");
   const std::size_t n = graph.node_count();
   offsets_.resize(n + 1, 0);
   for (std::size_t v = 0; v < n; ++v)
@@ -55,14 +62,20 @@ std::size_t SyncRadio::link_slot(std::size_t from, std::size_t to) const {
 }
 
 bool SyncRadio::crashed(std::size_t node) const noexcept {
-  return !death_rounds_.empty() && round_ > death_rounds_[node];
+  if (death_rounds_.empty() || round_ <= death_rounds_[node]) return false;
+  return reboot_rounds_.empty() || round_ < reboot_rounds_[node];
 }
 
 std::size_t SyncRadio::crashed_count() const noexcept {
   std::size_t dead = 0;
-  for (const std::size_t death : death_rounds_)
-    if (round_ > death) ++dead;
+  for (std::size_t u = 0; u < death_rounds_.size(); ++u)
+    if (crashed(u)) ++dead;
   return dead;
+}
+
+bool SyncRadio::just_rebooted(std::size_t node) const noexcept {
+  return !reboot_rounds_.empty() && reboot_rounds_[node] == round_ &&
+         death_rounds_[node] < round_;
 }
 
 void SyncRadio::record_broadcast(std::size_t node, std::size_t bytes) {

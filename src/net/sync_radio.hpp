@@ -12,6 +12,9 @@
 // Crash schedules (F13): a node with death round d transmits through round d
 // and delivers nothing afterwards — its neighbors simply stop hearing it,
 // exactly like a battery death. Dead nodes send no packets (no accounting).
+// An optional reboot schedule models battery-swap recovery: a node with
+// reboot round b is back on the air from round b on (`just_rebooted` flags
+// the single round where engines must run their cold-restart logic).
 #pragma once
 
 #include <cstddef>
@@ -30,9 +33,13 @@ class SyncRadio {
   /// `loss` is the independent per-reception drop probability in [0, 1).
   /// `death_rounds` (optional, per node) is the fault-injected crash
   /// schedule: node u delivers nothing once the round counter exceeds
-  /// death_rounds[u]. Empty means no crashes.
+  /// death_rounds[u]. Empty means no crashes. `reboot_rounds` (optional,
+  /// requires a death schedule) is the battery-swap recovery schedule: node
+  /// u transmits again from round reboot_rounds[u] on (kNeverCrashes
+  /// sentinel = stays dead).
   SyncRadio(const Graph& graph, double loss, Rng rng,
-            std::span<const std::size_t> death_rounds = {});
+            std::span<const std::size_t> death_rounds = {},
+            std::span<const std::size_t> reboot_rounds = {});
 
   /// Start a new round; re-draws the loss process for every directed link.
   void begin_round();
@@ -52,6 +59,11 @@ class SyncRadio {
   /// Nodes crashed as of the current round (telemetry: the trace's
   /// crashed_nodes column). 0 when no crash schedule was given.
   [[nodiscard]] std::size_t crashed_count() const noexcept;
+
+  /// Did `node` come back from a crash in the round just begun? Engines use
+  /// this to force a republish past their change-gates: the rebooted node's
+  /// neighbors may have retired it (TTL) and will not hear it otherwise.
+  [[nodiscard]] bool just_rebooted(std::size_t node) const noexcept;
 
   /// Rounds elapsed (number of begin_round calls so far).
   [[nodiscard]] std::size_t round() const noexcept { return round_; }
@@ -74,7 +86,8 @@ class SyncRadio {
   // Reverse slot map: encoded directed pair (from * n + to) -> slot. Built
   // once so delivered() is O(1) instead of an O(degree) neighbor scan.
   std::unordered_map<std::uint64_t, std::size_t> slot_of_;
-  std::vector<std::size_t> death_rounds_;  ///< empty = nobody crashes.
+  std::vector<std::size_t> death_rounds_;   ///< empty = nobody crashes.
+  std::vector<std::size_t> reboot_rounds_;  ///< empty = crashes are final.
   CommStats stats_;
   std::size_t round_ = 0;
   bool round_open_ = false;

@@ -129,12 +129,18 @@ bool export_trace_jsonl(const std::string& path,
     w.kv("msgs_sent", static_cast<std::uint64_t>(r.msgs_sent));
     w.kv("msgs_received", static_cast<std::uint64_t>(r.msgs_received));
     w.kv("bytes_sent", static_cast<std::uint64_t>(r.bytes_sent));
+    w.kv("delivered", static_cast<std::uint64_t>(r.delivered));
+    w.kv("retried", static_cast<std::uint64_t>(r.retried));
+    w.kv("dropped", static_cast<std::uint64_t>(r.dropped));
+    w.kv("duplicates", static_cast<std::uint64_t>(r.duplicates));
+    w.kv("crashed_delta", static_cast<double>(r.crashed_delta));
     w.kv("links_downweighted",
          static_cast<std::uint64_t>(r.robust.links_downweighted));
     w.kv("stale_links", static_cast<std::uint64_t>(r.robust.stale_links));
     w.kv("anchors_demoted",
          static_cast<std::uint64_t>(r.robust.anchors_demoted));
     w.kv("crashed_nodes", static_cast<std::uint64_t>(r.robust.crashed_nodes));
+    w.kv("quorum_held", static_cast<std::uint64_t>(r.robust.quorum_held));
     w.end_object();
     out += w.str();
     out += '\n';

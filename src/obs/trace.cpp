@@ -12,6 +12,7 @@ void ConvergenceTrace::begin(std::string algo) {
   const std::lock_guard<std::mutex> lock(mutex_);
   algo_ = std::move(algo);
   last_ = CommStats{};
+  last_crashed_ = 0;
   rows_.clear();
 }
 
@@ -28,8 +29,18 @@ void ConvergenceTrace::record(std::size_t round, double residual,
   row.msgs_sent = cumulative.messages_sent - last_.messages_sent;
   row.msgs_received = cumulative.messages_received - last_.messages_received;
   row.bytes_sent = cumulative.bytes_sent - last_.bytes_sent;
+  // Under the async transport "received" means "delivered and accepted";
+  // the delta pair makes retry amplification readable per round.
+  row.delivered = row.msgs_received;
+  row.retried = cumulative.messages_retried - last_.messages_retried;
+  row.dropped = cumulative.messages_dropped - last_.messages_dropped;
+  row.duplicates =
+      cumulative.duplicates_rejected - last_.duplicates_rejected;
+  row.crashed_delta = static_cast<std::int64_t>(robust.crashed_nodes) -
+                      static_cast<std::int64_t>(last_crashed_);
   row.robust = robust;
   last_ = cumulative;
+  last_crashed_ = robust.crashed_nodes;
   rows_.push_back(row);
 }
 

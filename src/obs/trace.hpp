@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -43,6 +44,9 @@ struct RobustActivity {
   std::size_t anchors_demoted = 0;
   /// Nodes crashed as of this round (cumulative; fault-injected schedules).
   std::size_t crashed_nodes = 0;
+  /// Nodes whose update was held this round by the partial-neighborhood
+  /// quorum gate (async degradation ladder; 0 with the gate off).
+  std::size_t quorum_held = 0;
 };
 
 /// One belief-update round as the trace records it.
@@ -60,6 +64,16 @@ struct TraceRound {
   std::size_t msgs_sent = 0;
   std::size_t msgs_received = 0;
   std::size_t bytes_sent = 0;
+  // Async-transport deltas (always zero under SyncRadio): summaries
+  // delivered-and-accepted, retransmission attempts, packets that exhausted
+  // their retries, and duplicates the sequence gate rejected.
+  std::size_t delivered = 0;
+  std::size_t retried = 0;
+  std::size_t dropped = 0;
+  std::size_t duplicates = 0;
+  /// Change in crashed_nodes since the previous round: positive when nodes
+  /// died this round, negative when reboots outnumbered deaths.
+  std::int64_t crashed_delta = 0;
   RobustActivity robust;
 };
 
@@ -82,6 +96,7 @@ class ConvergenceTrace {
   mutable std::mutex mutex_;
   std::string algo_;
   CommStats last_;  ///< cumulative stats at the previous record call.
+  std::size_t last_crashed_ = 0;  ///< crashed_nodes at the previous record.
   std::vector<TraceRound> rows_;
 };
 

@@ -84,6 +84,60 @@ TEST(FaultInjector, FaultSeedChangesDraws) {
   EXPECT_NE(a.faults.link_outlier, b.faults.link_outlier);
 }
 
+TEST(FaultInjector, RebootScheduleFollowsCrashSchedule) {
+  ScenarioConfig cfg = base_config();
+  cfg.faults.crash_fraction = 0.3;
+  cfg.faults.reboot_fraction = 1.0;
+  cfg.faults.reboot_delay_min = 4;
+  cfg.faults.reboot_delay_max = 12;
+  const Scenario s = build_scenario(cfg);
+  ASSERT_EQ(s.faults.reboot_round.size(), s.node_count());
+  std::size_t rebooters = 0;
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    if (s.faults.death_round[i] == kNeverCrashes) {
+      // A node that never crashes never reboots.
+      EXPECT_EQ(s.faults.reboot_round[i], kNeverCrashes);
+      continue;
+    }
+    ASSERT_NE(s.faults.reboot_round[i], kNeverCrashes);
+    const std::size_t delay =
+        s.faults.reboot_round[i] - s.faults.death_round[i];
+    EXPECT_GE(delay, cfg.faults.reboot_delay_min);
+    EXPECT_LE(delay, cfg.faults.reboot_delay_max);
+    ++rebooters;
+  }
+  EXPECT_GT(rebooters, 0u);
+}
+
+TEST(FaultInjector, ZeroRebootFractionKeepsCrashOnlyScenariosIdentical) {
+  // reboot_fraction = 0 must consume no draws: the crash-only scenario is
+  // bit-identical to one built before the reboot knob existed.
+  ScenarioConfig cfg = base_config();
+  cfg.faults.crash_fraction = 0.25;
+  const Scenario a = build_scenario(cfg);
+  cfg.faults.reboot_fraction = 0.0;  // explicit, same meaning
+  const Scenario b = build_scenario(cfg);
+  EXPECT_TRUE(a.faults.reboot_round.empty());
+  EXPECT_EQ(a.faults.death_round, b.faults.death_round);
+}
+
+TEST(FaultInjector, PartialRebootFractionLeavesSomeNodesDead) {
+  ScenarioConfig cfg = base_config();
+  cfg.faults.crash_fraction = 0.5;
+  cfg.faults.reboot_fraction = 0.5;
+  const Scenario s = build_scenario(cfg);
+  std::size_t back = 0, stay_dead = 0;
+  for (std::size_t i = 0; i < s.node_count(); ++i) {
+    if (s.faults.death_round[i] == kNeverCrashes) continue;
+    if (s.faults.reboot_round[i] == kNeverCrashes)
+      ++stay_dead;
+    else
+      ++back;
+  }
+  EXPECT_GT(back, 0u);
+  EXPECT_GT(stay_dead, 0u);
+}
+
 TEST(FaultInjector, OutliersArePositivelyBiasedAndLabeled) {
   ScenarioConfig cfg = base_config();
   const Scenario clean = build_scenario(cfg);

@@ -192,6 +192,50 @@ TEST(SyncRadio, ReceivedAccountingMatchesDeliveredUnderLossAndCrashes) {
   EXPECT_EQ(radio.stats().messages_received, manual);
 }
 
+TEST(SyncRadio, RebootedNodeComesBackOnTheAir) {
+  const Graph g = triangle();
+  const std::vector<std::size_t> deaths = {2, kNeverCrashes, kNeverCrashes};
+  const std::vector<std::size_t> reboots = {5, kNeverCrashes, kNeverCrashes};
+  SyncRadio radio(g, 0.0, Rng(1), deaths, reboots);
+  for (int round = 1; round <= 8; ++round) {
+    radio.begin_round();
+    const bool dead = round > 2 && round < 5;
+    EXPECT_EQ(radio.crashed(0), dead) << "round " << round;
+    EXPECT_EQ(radio.crashed_count(), dead ? 1u : 0u);
+    EXPECT_EQ(radio.delivered(0, 1), !dead);
+    EXPECT_EQ(radio.just_rebooted(0), round == 5);
+    EXPECT_FALSE(radio.just_rebooted(1));
+  }
+}
+
+TEST(SyncRadio, RebootNeverFiresWithoutACrash) {
+  // A reboot round at or before the death round is vacuous: the node never
+  // actually died, so just_rebooted must not fire.
+  const Graph g = triangle();
+  const std::vector<std::size_t> deaths = {kNeverCrashes, kNeverCrashes,
+                                           kNeverCrashes};
+  const std::vector<std::size_t> reboots = {3, kNeverCrashes, kNeverCrashes};
+  SyncRadio radio(g, 0.0, Rng(1), deaths, reboots);
+  for (int round = 1; round <= 6; ++round) {
+    radio.begin_round();
+    EXPECT_FALSE(radio.crashed(0));
+    EXPECT_FALSE(radio.just_rebooted(0));
+  }
+}
+
+TEST(SyncRadio, MergeAddsAsyncCounters) {
+  CommStats a, b;
+  a.messages_retried = 2;
+  a.duplicates_rejected = 1;
+  b.messages_retried = 5;
+  b.messages_dropped = 7;
+  b.duplicates_rejected = 3;
+  a.merge(b);
+  EXPECT_EQ(a.messages_retried, 7u);
+  EXPECT_EQ(a.messages_dropped, 7u);
+  EXPECT_EQ(a.duplicates_rejected, 4u);
+}
+
 TEST(SyncRadio, DeterministicInRngSeed) {
   const Graph g = triangle();
   SyncRadio a(g, 0.4, Rng(11));
