@@ -1,0 +1,164 @@
+// bnloc-serve: the multi-tenant batch service, as a binary.
+//
+// Reads a JSON batch of localization requests (file, stdin, or a built-in
+// demo batch), serves it through serve::BatchService, and streams one JSON
+// result line per request to stdout — in request order, mid-batch — while
+// the human-facing summary (throughput, latency quantiles, per-tenant
+// accounting, kernel-cache sharing) goes to stderr so the stdout stream
+// stays machine-parseable. docs/SERVICE.md documents the full schema; the
+// CI serve-smoke job validates this binary's output against it.
+//
+//   bnloc_serve                      # serve the built-in demo batch
+//   bnloc_serve --demo-batch > b.json# print the demo batch (then edit it)
+//   bnloc_serve b.json               # serve a batch file
+//   bnloc_serve - < b.json           # ... or stdin
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bnloc/bnloc.hpp"
+
+using namespace bnloc;
+
+namespace {
+
+// The demo batch doubles as the schema's worked example: three tenants,
+// all three engines, an async-transport request, and two tenants measuring
+// the same world (same scenario seed/config) so the cross-tenant kernel
+// sharing shows up in the summary.
+constexpr const char* kDemoBatch = R"({"requests": [
+  {"tenant": "acme", "id": "floor-2-grid", "engine": "grid",
+   "scenario": {"nodes": 60, "anchor_fraction": 0.15, "seed": 11,
+                "radio_range": 0.25, "noise": 0.1},
+   "engine_config": {"grid_side": 24, "max_iterations": 12}},
+  {"tenant": "acme", "id": "floor-2-particle", "engine": "particle",
+   "scenario": {"nodes": 60, "anchor_fraction": 0.15, "seed": 11,
+                "radio_range": 0.25, "noise": 0.1},
+   "engine_config": {"particle_count": 96}},
+  {"tenant": "globex", "id": "warehouse-a", "engine": "grid",
+   "scenario": {"nodes": 60, "anchor_fraction": 0.15, "seed": 11,
+                "radio_range": 0.25, "noise": 0.1},
+   "engine_config": {"grid_side": 24, "max_iterations": 12}},
+  {"tenant": "globex", "id": "warehouse-b-lossy", "engine": "grid",
+   "scenario": {"nodes": 48, "anchor_fraction": 0.2, "seed": 29,
+                "radio_range": 0.3, "noise": 0.12, "deployment": "clusters"},
+   "engine_config": {"grid_side": 24, "max_iterations": 12,
+                     "async": true, "loss": 0.1}},
+  {"tenant": "initech", "id": "campus-gauss", "engine": "gauss",
+   "scenario": {"nodes": 80, "anchor_fraction": 0.12, "seed": 5,
+                "anchor_placement": "perimeter"},
+   "engine_config": {"max_iterations": 30}},
+  {"tenant": "initech", "id": "campus-prior-none", "engine": "grid",
+   "scenario": {"nodes": 48, "anchor_fraction": 0.2, "seed": 5,
+                "prior": "none"},
+   "engine_config": {"grid_side": 24, "max_iterations": 12}}
+]})";
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] [batch.json | -]\n"
+               "  (no input)     serve the built-in demo batch\n"
+               "  -              read the batch from stdin\n"
+               "  --demo-batch   print the demo batch JSON and exit\n"
+               "  --threads N    worker threads (default: hardware)\n"
+               "  --no-share     per-request kernel caches (no cross-tenant "
+               "sharing)\n"
+               "  --quiet        suppress the stderr summary\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServeConfig config;
+  std::string input;
+  bool quiet = false;
+  bool have_input = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--demo-batch") {
+      std::printf("%s\n", kDemoBatch);
+      return 0;
+    }
+    if (arg == "--threads") {
+      if (++i >= argc) return usage(argv[0]);
+      config.threads = static_cast<std::size_t>(std::strtoul(argv[i], nullptr, 10));
+    } else if (arg == "--no-share") {
+      config.share_kernels = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      input = buffer.str();
+      have_input = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      std::ifstream file{std::string(arg)};
+      if (!file) {
+        std::fprintf(stderr, "bnloc_serve: cannot open '%s'\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      input = buffer.str();
+      have_input = true;
+    }
+  }
+  if (!have_input) input = kDemoBatch;
+
+  std::vector<serve::ServeRequest> requests;
+  std::string error;
+  if (!serve::parse_serve_batch(input, requests, &error)) {
+    std::fprintf(stderr, "bnloc_serve: %s\n", error.c_str());
+    return 1;
+  }
+
+  serve::BatchService service(config);
+  const auto responses = service.run_batch(
+      std::move(requests),
+      [](const serve::ServeResponse&, std::string_view line) {
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);  // stream lines as they complete, not at exit
+      });
+
+  bool all_ok = true;
+  for (const auto& response : responses)
+    if (!response.ok) all_ok = false;
+
+  if (!quiet) {
+    const serve::BatchStats& batch = service.last_batch();
+    std::fprintf(stderr,
+                 "\nbatch: %zu requests (%zu failed) on %zu workers in %.3f s"
+                 "  |  %.1f req/s  p50 %.1f ms  p99 %.1f ms\n",
+                 batch.requests, batch.failed, service.worker_count(),
+                 batch.wall_seconds, batch.requests_per_second(),
+                 batch.latency_quantile(0.50) * 1e3,
+                 batch.latency_quantile(0.99) * 1e3);
+    std::fprintf(stderr, "%-12s %9s %7s %12s %14s\n", "tenant", "requests",
+                 "failed", "latency (s)", "arena peak (B)");
+    for (const serve::TenantStats& tenant : service.tenants())
+      std::fprintf(stderr, "%-12s %9zu %7zu %12.3f %14zu\n",
+                   tenant.tenant.c_str(), tenant.requests, tenant.failed,
+                   tenant.total_seconds, tenant.arena_high_water);
+    if (service.config().share_kernels) {
+      const auto& totals = batch.kernel_totals;
+      std::fprintf(stderr,
+                   "kernel registry: %zu caches, %zu kernels (%zu built, %zu "
+                   "cross-run hits), ~%zu KiB\n",
+                   totals.caches, totals.kernels, totals.built, totals.shared,
+                   totals.approx_bytes / 1024);
+    }
+  }
+  return all_ok ? 0 : 1;
+}

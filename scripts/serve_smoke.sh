@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Serve-surface smoke check (the CI serve-smoke job): build the bnloc_serve
+# example, feed it its own demo batch plus a generated mixed batch, and
+# validate the streamed JSONL against the docs/SERVICE.md response schema.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Lean build: the service example only needs the library (tests and
+# benches are covered by the other jobs).
+if [ -f build-serve/CMakeCache.txt ]; then
+  cmake -B build-serve
+elif command -v ninja > /dev/null 2>&1; then
+  cmake -B build-serve -G Ninja \
+    -DBNLOC_BUILD_TESTS=OFF -DBNLOC_BUILD_BENCH=OFF
+else
+  cmake -B build-serve -DBNLOC_BUILD_TESTS=OFF -DBNLOC_BUILD_BENCH=OFF
+fi
+cmake --build build-serve --target bnloc_serve
+
+SERVE=build-serve/examples/bnloc_serve
+TMP="${TMPDIR:-/tmp}/bnloc-serve-smoke.$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+# 1. The documented quickstart flow: demo batch -> file -> serve.
+"$SERVE" --demo-batch > "$TMP/batch.json"
+"$SERVE" --quiet "$TMP/batch.json" > "$TMP/out.jsonl"
+python3 scripts/validate_serve_output.py "$TMP/batch.json" "$TMP/out.jsonl"
+
+# 2. Same batch over stdin, two workers: stream order and payloads must be
+# identical to the file-fed single-default run above (the determinism
+# contract, minus wall-clock fields — the validator strips them).
+"$SERVE" --quiet --threads 2 - < "$TMP/batch.json" > "$TMP/out2.jsonl"
+python3 scripts/validate_serve_output.py --expect-match "$TMP/out.jsonl" \
+  "$TMP/batch.json" "$TMP/out2.jsonl"
+
+# 3. A failing request must produce an ok=false line, not a dead batch.
+python3 - "$TMP/batch.json" "$TMP/bad.json" << 'EOF'
+import json, sys
+batch = json.load(open(sys.argv[1]))
+batch["requests"][1]["scenario"]["nodes"] = 1  # validation failure
+json.dump(batch, open(sys.argv[2], "w"))
+EOF
+if "$SERVE" --quiet "$TMP/bad.json" > "$TMP/out-bad.jsonl"; then
+  echo "serve_smoke: expected nonzero exit for a batch with a failed request" >&2
+  exit 1
+fi
+python3 scripts/validate_serve_output.py --allow-failures "$TMP/bad.json" \
+  "$TMP/out-bad.jsonl"
+
+echo "serve smoke passed"

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate a bnloc_serve JSONL stream against the docs/SERVICE.md schema.
+
+Usage:
+  validate_serve_output.py [--allow-failures] [--expect-match REF.jsonl]
+                           BATCH.json OUTPUT.jsonl
+
+Checks:
+  * one response line per request, in request order (ids must match);
+  * every line carries the documented schema fields with the right types
+    (success fields present iff ok, error present iff not ok);
+  * transport_hash is a 16-digit hex string;
+  * without --allow-failures, every request must have ok == true;
+  * with --expect-match, the stream must equal the reference stream after
+    stripping wall-clock fields (the service determinism contract).
+
+Stdlib only: this runs in CI containers with no installed packages.
+"""
+import json
+import re
+import sys
+
+SUCCESS_FIELDS = {
+    "coverage": float,
+    "mean_error": float,
+    "median_error": float,
+    "q90_error": float,
+    "rmse_error": float,
+    "penalized_mean": float,
+    "iterations": int,
+    "converged": bool,
+    "msgs_per_node": float,
+    "bytes_per_node": float,
+    "transport_hash": str,
+    "solver_seconds": float,
+}
+COMMON_FIELDS = {
+    "type": str,
+    "tenant": str,
+    "id": str,
+    "engine": str,
+    "ok": bool,
+    "nodes": int,
+    "anchors": int,
+    "localized": int,
+    "serve_seconds": float,
+}
+WALL_CLOCK_FIELDS = ("solver_seconds", "serve_seconds")
+
+
+def fail(message):
+    print(f"validate_serve_output: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_type(line_no, key, value, expected):
+    # JSON has one number type; ints must be whole numbers.
+    if expected is float:
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    elif expected is int:
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    else:
+        ok = isinstance(value, expected)
+    if not ok:
+        fail(f"line {line_no}: field '{key}' has type "
+             f"{type(value).__name__}, expected {expected.__name__}")
+
+
+def validate_line(line_no, record, allow_failures):
+    for key, expected in COMMON_FIELDS.items():
+        if key not in record:
+            fail(f"line {line_no}: missing field '{key}'")
+        check_type(line_no, key, record[key], expected)
+    if record["type"] != "result":
+        fail(f"line {line_no}: type is '{record['type']}', expected 'result'")
+    known = set(COMMON_FIELDS) | set(SUCCESS_FIELDS) | {"error"}
+    for key in record:
+        if key not in known:
+            fail(f"line {line_no}: undocumented field '{key}'")
+    if record["ok"]:
+        for key, expected in SUCCESS_FIELDS.items():
+            if key not in record:
+                fail(f"line {line_no}: ok response missing '{key}'")
+            check_type(line_no, key, record[key], expected)
+        if "error" in record:
+            fail(f"line {line_no}: ok response carries an 'error' field")
+        if not re.fullmatch(r"[0-9a-f]{16}", record["transport_hash"]):
+            fail(f"line {line_no}: transport_hash "
+                 f"'{record['transport_hash']}' is not 16 hex digits")
+    else:
+        if not allow_failures:
+            fail(f"line {line_no}: request '{record['id']}' failed: "
+                 f"{record.get('error', '(no error field)')}")
+        if "error" not in record or not record["error"]:
+            fail(f"line {line_no}: failed response missing 'error'")
+        for key in SUCCESS_FIELDS:
+            if key in record:
+                fail(f"line {line_no}: failed response carries '{key}'")
+
+
+def load_stream(path):
+    records = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                fail(f"{path}:{line_no}: blank line in JSONL stream")
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                fail(f"{path}:{line_no}: invalid JSON: {err}")
+    return records
+
+
+def main(argv):
+    allow_failures = False
+    reference_path = None
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--allow-failures":
+            allow_failures = True
+        elif argv[i] == "--expect-match":
+            i += 1
+            reference_path = argv[i]
+        else:
+            args.append(argv[i])
+        i += 1
+    if len(args) != 2:
+        fail(f"usage: {argv[0]} [--allow-failures] [--expect-match REF] "
+             "BATCH.json OUTPUT.jsonl")
+    batch_path, output_path = args
+
+    with open(batch_path) as handle:
+        batch = json.load(handle)
+    requests = batch["requests"] if isinstance(batch, dict) else batch
+    expected_ids = [req.get("id", f"req-{i}")
+                    for i, req in enumerate(requests)]
+
+    records = load_stream(output_path)
+    if len(records) != len(expected_ids):
+        fail(f"{len(records)} response lines for {len(expected_ids)} requests")
+    for line_no, (record, expected_id) in enumerate(
+            zip(records, expected_ids), 1):
+        validate_line(line_no, record, allow_failures)
+        if record["id"] != expected_id:
+            fail(f"line {line_no}: id '{record['id']}' out of order "
+                 f"(expected '{expected_id}')")
+
+    if reference_path:
+        reference = load_stream(reference_path)
+        for line_no, (got, ref) in enumerate(zip(records, reference), 1):
+            for field in WALL_CLOCK_FIELDS:
+                got.pop(field, None)
+                ref.pop(field, None)
+            if got != ref:
+                fail(f"line {line_no}: payload differs from reference "
+                     "(determinism contract violated)")
+
+    print(f"validate_serve_output: {len(records)} lines OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -56,6 +56,10 @@
 #include "radio/connectivity.hpp"
 #include "radio/ranging.hpp"
 #include "radio/rssi.hpp"
+#include "serve/arena.hpp"
+#include "serve/json_io.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
 #include "support/config.hpp"
 #include "support/histogram.hpp"
 #include "support/rng.hpp"

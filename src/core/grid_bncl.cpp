@@ -392,15 +392,35 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
     std::vector<RangeKernel> owned_kernels;
     std::vector<const RangeKernel*> link_kernel(n_links, nullptr);
     if (config_.cache_kernels) {
-      kcache.emplace(ranging, shape);
+      // `process` scope swaps the per-run cache for the process-global
+      // registry shard of this (ranging, shape) parameter set: same pure
+      // kernels, but construction cost is shared with every other run in
+      // the process. Per-lookup outcomes are metered so a run can report
+      // its own hit rate against the shared cache.
+      const bool process_scope = config_.kernel_scope == KernelScope::process;
+      KernelCache& cache =
+          process_scope ? KernelCacheRegistry::instance().acquire(ranging, shape)
+                        : kcache.emplace(ranging, shape);
+      std::size_t run_built = 0;
+      std::size_t run_shared = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (acts_anchor[i]) continue;
         const auto nbs = scenario.graph.neighbors(i);
-        for (std::size_t k = 0; k < nbs.size(); ++k)
-          link_kernel[kernel_offset[i] + k] = kcache->range(nbs[k].weight);
+        for (std::size_t k = 0; k < nbs.size(); ++k) {
+          bool built = false;
+          link_kernel[kernel_offset[i] + k] = cache.range(nbs[k].weight, &built);
+          if (built)
+            ++run_built;
+          else
+            ++run_shared;
+        }
       }
-      obs::count("grid.kernels.built", kcache->stats().built);
-      obs::count("grid.kernels.shared", kcache->stats().shared);
+      obs::count("grid.kernels.built", run_built);
+      obs::count("grid.kernels.shared", run_shared);
+      if (process_scope) {
+        obs::count("grid.kernels.process.miss", run_built);
+        obs::count("grid.kernels.process.hit", run_shared);
+      }
     } else {
       owned_kernels.reserve(n_links);
       for (std::size_t i = 0; i < n; ++i)

@@ -32,6 +32,17 @@
 
 namespace bnloc {
 
+/// Where memoized annulus kernels live (GridBnclConfig::kernel_scope).
+enum class KernelScope {
+  run,      ///< a fresh KernelCache per localize() call (the PR4 behavior).
+  process,  ///< the process-global KernelCacheRegistry: kernels built by
+            ///< any run are reused by every later run with the same
+            ///< ranging spec and grid shape — the serve layer's
+            ///< cross-tenant fast path (docs/SERVICE.md). Bit-identical
+            ///< output either way; kernels are pure functions of
+            ///< (distance, ranging, shape).
+};
+
 /// Belief-update ordering within a round.
 enum class UpdateSchedule {
   jacobi,        ///< all nodes update from the round-start snapshot — the
@@ -111,6 +122,14 @@ struct GridBnclConfig {
   /// across links, nodes, and iterations (inference/kernel_cache.hpp). The
   /// symmetric link measurements alone halve kernel construction.
   bool cache_kernels = true;
+  /// Scope of that memoization. `run` (default) builds a fresh cache per
+  /// localize() call; `process` consults the process-global
+  /// KernelCacheRegistry so concurrent and successive runs share kernels
+  /// (per-lookup outcomes surface as the `grid.kernels.process.hit/miss`
+  /// obs counters). The registry grows until trimmed — standalone callers
+  /// should prefer `run` for unbounded Monte-Carlo sweeps; the serve layer
+  /// enables `process` and trims between batches (docs/SERVICE.md).
+  KernelScope kernel_scope = KernelScope::run;
   /// Reuse a link's incoming message verbatim while the sender's published
   /// summary is unchanged (rebroadcast suppression already tracks this) —
   /// the message is a pure function of (kernel, summary), so recomputing it

@@ -1,0 +1,57 @@
+#include "serve/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bnloc::serve {
+
+Arena::Arena(std::size_t chunk_bytes)
+    : chunk_bytes_(std::max<std::size_t>(chunk_bytes, 256)) {}
+
+char* Arena::allocate(std::size_t bytes) {
+  const std::size_t aligned = (bytes + 7) & ~std::size_t{7};
+  ++stats_.allocations;
+  stats_.bytes_used += aligned;
+  stats_.high_water = std::max(stats_.high_water, stats_.bytes_used);
+  // First-fit over the chunks from the active cursor; the cursor never
+  // moves backward, so a run of exhausted chunks is skipped once per batch,
+  // not once per allocation.
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    if (c.capacity - c.used >= aligned) {
+      char* p = c.data.get() + c.used;
+      c.used += aligned;
+      return p;
+    }
+    ++active_;
+  }
+  const std::size_t cap = std::max(aligned, chunk_bytes_);
+  chunks_.push_back(
+      Chunk{std::unique_ptr<char[]>(new char[cap]), cap, aligned});
+  stats_.bytes_reserved += cap;
+  stats_.chunks = chunks_.size();
+  return chunks_.back().data.get();
+}
+
+std::string_view Arena::store(std::string_view text) {
+  if (text.empty()) return {};
+  char* p = allocate(text.size());
+  std::memcpy(p, text.data(), text.size());
+  return {p, text.size()};
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+  stats_.bytes_used = 0;
+}
+
+void Arena::release() {
+  chunks_.clear();
+  active_ = 0;
+  stats_.bytes_used = 0;
+  stats_.bytes_reserved = 0;
+  stats_.chunks = 0;
+}
+
+}  // namespace bnloc::serve

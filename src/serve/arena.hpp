@@ -1,0 +1,67 @@
+// Monotonic chunked arena: the per-tenant allocation substrate of the
+// serve layer.
+//
+// A tenant's responses are serialized into its arena (one contiguous copy
+// per JSON line) and the arena is reset — not released — after every batch,
+// so steady-state serving allocates from recycled chunks instead of the
+// heap. Besides reuse, the arena is the unit of per-tenant memory
+// accounting: `Stats::high_water` is the "memory per tenant" column of
+// `bench_p3_serve` and the per-tenant table in docs/SERVICE.md.
+//
+// Not internally synchronized: BatchService touches each arena only under
+// its in-order emit lock (service.cpp), and standalone users own their
+// arenas outright.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace bnloc::serve {
+
+class Arena {
+ public:
+  /// `chunk_bytes` is the default chunk size; single allocations larger
+  /// than it get a dedicated chunk of exactly their size.
+  explicit Arena(std::size_t chunk_bytes = 64 * 1024);
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage, 8-byte aligned. Valid until reset()/release().
+  [[nodiscard]] char* allocate(std::size_t bytes);
+
+  /// Copy `text` into the arena; the returned view lives until
+  /// reset()/release().
+  [[nodiscard]] std::string_view store(std::string_view text);
+
+  /// Forget every allocation but keep the chunks for reuse — the per-batch
+  /// recycle. O(chunks).
+  void reset();
+
+  /// Return every chunk to the heap.
+  void release();
+
+  struct Stats {
+    std::size_t bytes_used = 0;      ///< live bytes since the last reset.
+    std::size_t high_water = 0;      ///< max bytes_used ever observed.
+    std::size_t bytes_reserved = 0;  ///< summed chunk capacity held.
+    std::size_t chunks = 0;
+    std::size_t allocations = 0;     ///< cumulative allocate()/store() calls.
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< chunks_[active_..] may have free space.
+  Stats stats_;
+};
+
+}  // namespace bnloc::serve

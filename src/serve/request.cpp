@@ -1,0 +1,55 @@
+#include "serve/request.hpp"
+
+namespace bnloc::serve {
+
+const char* to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::grid: return "grid";
+    case EngineKind::particle: return "particle";
+    case EngineKind::gauss: return "gauss";
+  }
+  return "?";
+}
+
+bool engine_kind_from(std::string_view name, EngineKind& out) {
+  if (name == "grid") {
+    out = EngineKind::grid;
+  } else if (name == "particle") {
+    out = EngineKind::particle;
+  } else if (name == "gauss") {
+    out = EngineKind::gauss;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string validate(const ServeRequest& request) {
+  const ScenarioConfig& s = request.scenario;
+  if (s.node_count < 2) return "scenario.nodes must be >= 2";
+  if (s.anchor_fraction < 0.0 || s.anchor_fraction > 1.0)
+    return "scenario.anchor_fraction must be in [0, 1]";
+  if (s.radio.range <= 0.0) return "scenario.radio_range must be > 0";
+  if (s.radio.ranging.noise_factor < 0.0)
+    return "scenario.noise must be >= 0";
+  if (request.engine == EngineKind::grid && request.grid.grid_side < 4)
+    return "engine.grid_side must be >= 4";
+  if (request.engine == EngineKind::particle &&
+      request.particle.particle_count < 2)
+    return "engine.particle_count must be >= 2";
+  return {};
+}
+
+std::unique_ptr<Localizer> make_localizer(const ServeRequest& request) {
+  switch (request.engine) {
+    case EngineKind::grid:
+      return std::make_unique<GridBncl>(request.grid);
+    case EngineKind::particle:
+      return std::make_unique<ParticleBncl>(request.particle);
+    case EngineKind::gauss:
+      return std::make_unique<GaussianBncl>(request.gauss);
+  }
+  return nullptr;
+}
+
+}  // namespace bnloc::serve

@@ -1,0 +1,202 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "deploy/scenario.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "support/timer.hpp"
+
+namespace bnloc::serve {
+namespace {
+
+/// Estimated footprint of one decoded result kept alive for the caller
+/// (the response vectors; engine scratch is freed before this point).
+std::size_t result_footprint(const ServeResponse& response) {
+  const LocalizationResult& r = response.result;
+  return r.estimates.capacity() * sizeof(r.estimates[0]) +
+         r.covariances.capacity() * sizeof(r.covariances[0]) +
+         r.change_per_iteration.capacity() * sizeof(double) +
+         response.report.errors.capacity() * sizeof(double);
+}
+
+}  // namespace
+
+double BatchStats::latency_quantile(double q) const {
+  if (latencies.empty()) return 0.0;
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::llround(clamped * static_cast<double>(sorted.size() - 1)));
+  return sorted[rank];
+}
+
+BatchService::BatchService(ServeConfig config)
+    : config_(config), pool_(config.threads) {}
+
+ServeRequest BatchService::sanitize(ServeRequest request) const {
+  // Execution knobs only: the batch is the parallelism (nested engine pools
+  // would oversubscribe), and kernel scope follows the service's sharing
+  // policy. Neither changes any output bit — single-threaded and
+  // multi-threaded grid rounds are bit-identical by the engine's own
+  // contract, and kernels are pure functions of their cache key.
+  request.grid.threads = 1;
+  request.grid.cache_kernels = true;
+  request.grid.kernel_scope =
+      config_.share_kernels ? KernelScope::process : KernelScope::run;
+  return request;
+}
+
+ServeResponse BatchService::serve_one(const ServeRequest& raw) const {
+  const ServeRequest request = sanitize(raw);
+  ServeResponse response;
+  response.tenant = request.tenant;
+  response.id = request.id;
+  response.engine = to_string(request.engine);
+
+  Stopwatch watch;
+  if (std::string reason = validate(request); !reason.empty()) {
+    response.error = std::move(reason);
+    response.seconds = watch.seconds();
+    return response;
+  }
+  try {
+    const Scenario scenario = build_scenario(request.scenario);
+    response.nodes = scenario.node_count();
+    response.anchors = scenario.anchor_count();
+    const std::unique_ptr<Localizer> localizer = make_localizer(request);
+    response.engine = localizer->name();
+    Rng rng = make_algo_rng(localizer->name(), request.algo_seed);
+    response.result = localizer->localize(scenario, rng);
+    for (std::size_t node = 0; node < scenario.node_count(); ++node) {
+      if (!scenario.is_anchor[node] && response.result.estimates[node])
+        ++response.localized;
+    }
+    if (config_.evaluate) response.report = evaluate(scenario, response.result);
+    response.ok = true;
+  } catch (const std::exception& ex) {
+    response.ok = false;
+    response.error = ex.what();
+  }
+  response.seconds = watch.seconds();
+  return response;
+}
+
+std::vector<ServeResponse> BatchService::run_batch(
+    std::vector<ServeRequest> requests) {
+  return run_batch(std::move(requests), ResultSink{});
+}
+
+std::vector<ServeResponse> BatchService::run_batch(
+    std::vector<ServeRequest> requests, const ResultSink& sink) {
+  const std::size_t n = requests.size();
+  last_ = BatchStats{};
+  last_.requests = n;
+  last_.latencies.resize(n, 0.0);
+
+  // Tenant bookkeeping is mutated serially, before the fan-out: arenas
+  // reset (keeping their chunks — steady-state batches allocate nothing
+  // new), and every tenant in this batch gets its slot up front so workers
+  // never touch the map.
+  for (auto& [name, tenant] : tenants_) {
+    (void)name;
+    tenant->arena.reset();
+    tenant->batch_result_bytes = 0;
+  }
+  for (const ServeRequest& request : requests) {
+    if (!tenants_.contains(request.tenant)) {
+      tenants_.emplace(request.tenant, std::make_unique<Tenant>(
+                                           config_.arena_chunk_kb * 1024));
+    }
+  }
+
+  std::vector<ServeResponse> responses(n);
+  // deque: Telemetry holds mutexes (immovable); resize constructs in place.
+  std::deque<obs::Telemetry> telemetries;
+  if (config_.collect_metrics) {
+    telemetries.resize(n);
+    for (obs::Telemetry& t : telemetries) t.trace_enabled = false;
+  }
+
+  // In-order prefix streaming: whichever worker completes request i marks
+  // it done and, under the emit lock, flushes every contiguous finished
+  // request from the front. The stream order equals request order at any
+  // thread count, yet lines leave mid-batch rather than after the join.
+  std::vector<char> done(n, 0);
+  std::size_t next_emit = 0;
+  std::mutex emit_mutex;
+
+  const auto emit = [&](std::size_t i) {  // caller holds emit_mutex.
+    ServeResponse& response = responses[i];
+    Tenant& tenant = *tenants_.at(response.tenant);
+    const std::string_view line =
+        tenant.arena.store(serve_response_json(response));
+    tenant.stats.requests += 1;
+    if (!response.ok) {
+      tenant.stats.failed += 1;
+      last_.failed += 1;
+    }
+    tenant.stats.total_seconds += response.seconds;
+    tenant.batch_result_bytes += result_footprint(response);
+    tenant.stats.result_bytes_peak =
+        std::max(tenant.stats.result_bytes_peak, tenant.batch_result_bytes);
+    tenant.stats.arena_high_water =
+        std::max(tenant.stats.arena_high_water, tenant.arena.stats().high_water);
+    if (sink) sink(response, line);
+  };
+
+  Stopwatch wall;
+  parallel_for_index(pool_, n, [&](std::size_t i) {
+    // Pool tasks must not throw; serve_one catches per-request failures
+    // into ok=false responses, so nothing escapes here.
+    {
+      std::optional<obs::TelemetryScope> scope;
+      if (config_.collect_metrics) scope.emplace(&telemetries[i]);
+      responses[i] = serve_one(requests[i]);
+    }
+    last_.latencies[i] = responses[i].seconds;
+
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    done[i] = 1;
+    while (next_emit < n && done[next_emit]) emit(next_emit++);
+  });
+  last_.wall_seconds = wall.seconds();
+
+  // Per-request registries fold in request order — the same discipline the
+  // Monte-Carlo harness uses to keep folded counters thread-count
+  // invariant.
+  for (const obs::Telemetry& t : telemetries) metrics_.merge(t.registry);
+  metrics_.count("serve.batches", 1);
+  metrics_.count("serve.requests", n);
+  metrics_.count("serve.failed", last_.failed);
+
+  if (config_.share_kernels) {
+    last_.kernel_totals = KernelCacheRegistry::instance().totals();
+    // Safe point for the all-or-nothing trim: the join above guarantees no
+    // run still holds kernel pointers from this service. (Other services
+    // sharing the process must quiesce too — docs/SERVICE.md.)
+    if (config_.kernel_budget_mb > 0)
+      KernelCacheRegistry::instance().trim(config_.kernel_budget_mb << 20);
+  }
+  return responses;
+}
+
+std::vector<TenantStats> BatchService::tenants() const {
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    TenantStats stats = tenant->stats;
+    stats.tenant = name;
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+}  // namespace bnloc::serve

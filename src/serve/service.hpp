@@ -1,0 +1,160 @@
+// BatchService: the multi-tenant batch front end (bnloc-serve).
+//
+// One service instance owns a worker pool and serves batches of independent
+// localization requests: requests shard across the pool, per-request
+// results stream back as JSON lines *in request order* (a worker finishing
+// request 7 before request 3 waits its turn in the emitter, not in the
+// solver), and cross-request state that is provably output-invisible — the
+// process-global KernelCacheRegistry, the SIMD dispatch — is shared across
+// every tenant in the process.
+//
+// Contracts (docs/SERVICE.md spells them out for service consumers):
+//  * Determinism/isolation: a request's response payload (everything but
+//    wall-clock fields) is a pure function of the request. Solo or batched,
+//    1 worker or 64, co-tenants or alone — bit-identical. Enforced by
+//    tests/test_serve.cpp and the bench_p3_serve identity gate.
+//  * Engines run single-threaded inside the service (the batch is the
+//    parallelism; nested pools would oversubscribe), and grid requests are
+//    switched to the process-global kernel scope when `share_kernels` is
+//    on. Both are sanitization of *execution* knobs — semantic engine
+//    config is honored verbatim.
+//  * Tenant accounting: per-tenant request/failure counts, summed service
+//    latency, and the arena high-water that is the "memory per tenant"
+//    number. Response JSON lines live in the owning tenant's arena until
+//    the next batch starts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "inference/kernel_cache.hpp"
+#include "obs/registry.hpp"
+#include "serve/arena.hpp"
+#include "serve/json_io.hpp"
+#include "serve/request.hpp"
+#include "support/thread_pool.hpp"
+
+namespace bnloc::serve {
+
+struct ServeConfig {
+  /// Worker threads for request-level parallelism. 0 (default) selects
+  /// hardware concurrency; 1 serves serially on the pool's single worker.
+  std::size_t threads = 0;
+  /// Route grid requests through the process-global KernelCacheRegistry
+  /// (GridBnclConfig::kernel_scope = process) so tenants measuring the
+  /// same distances share kernel construction. Off = every request keeps
+  /// a private per-run cache (the isolated baseline bench_p3_serve
+  /// compares against).
+  bool share_kernels = true;
+  /// Registry footprint ceiling: after a batch completes (never during
+  /// one — outstanding runs hold kernel pointers), the registry is dropped
+  /// wholesale if it exceeds this budget. 0 disables trimming.
+  std::size_t kernel_budget_mb = 512;
+  /// Score results against the scenario's ground truth (simulated batches
+  /// carry their truth; turn off when serving measurement-only workloads).
+  bool evaluate = true;
+  /// Fold each request's telemetry counters into metrics() (request order,
+  /// so the folded registry is deterministic). Costs one registry per
+  /// in-flight request; off leaves engine instrumentation on the null sink.
+  bool collect_metrics = true;
+  /// Chunk size for the per-tenant arenas.
+  std::size_t arena_chunk_kb = 64;
+};
+
+/// Cumulative per-tenant accounting across every batch this service ran.
+struct TenantStats {
+  std::string tenant;
+  std::size_t requests = 0;
+  std::size_t failed = 0;
+  /// Summed service-side request latency (wall-clock).
+  double total_seconds = 0.0;
+  /// Arena high-water: peak bytes of response payload held for this tenant
+  /// within one batch — the "memory per tenant" metric.
+  std::size_t arena_high_water = 0;
+  /// Estimated peak per-batch footprint of this tenant's decoded results
+  /// (estimate/covariance vectors; excludes engine-internal scratch).
+  std::size_t result_bytes_peak = 0;
+};
+
+/// One batch's execution record.
+struct BatchStats {
+  std::size_t requests = 0;
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;  ///< submit-to-last-emit wall time.
+  /// Per-request service latency, in request order.
+  std::vector<double> latencies;
+  /// Latency quantile in [0, 1] (0.5 = p50, 0.99 = p99); 0 when empty.
+  [[nodiscard]] double latency_quantile(double q) const;
+  [[nodiscard]] double requests_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(requests) / wall_seconds
+                              : 0.0;
+  }
+  /// Registry totals snapshotted after the batch (share_kernels only).
+  KernelCacheRegistry::Totals kernel_totals;
+};
+
+class BatchService {
+ public:
+  explicit BatchService(ServeConfig config = {});
+
+  /// Per-result hook: called once per request, in request order, with the
+  /// decoded response and its JSON line (arena-backed; valid until the
+  /// next run_batch call on this service).
+  using ResultSink =
+      std::function<void(const ServeResponse&, std::string_view json_line)>;
+
+  /// Serve one batch; blocks until every request finished and streamed.
+  /// Responses return in request order. The sink overload streams each
+  /// line as soon as it and all its predecessors are done — mid-batch, not
+  /// after the join.
+  std::vector<ServeResponse> run_batch(std::vector<ServeRequest> requests);
+  std::vector<ServeResponse> run_batch(std::vector<ServeRequest> requests,
+                                       const ResultSink& sink);
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return pool_.size();
+  }
+  /// Stats of the most recent batch.
+  [[nodiscard]] const BatchStats& last_batch() const noexcept { return last_; }
+  /// Cumulative per-tenant accounting, sorted by tenant id.
+  [[nodiscard]] std::vector<TenantStats> tenants() const;
+  /// Folded request telemetry (ServeConfig::collect_metrics): engine
+  /// counters — `grid.kernels.process.hit/miss` among them — plus the
+  /// service's own `serve.*` counters.
+  [[nodiscard]] const obs::Registry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Serve one request end to end (decode nothing, stream nothing): what a
+  /// worker runs. Exposed so tests and benches can reproduce a batch
+  /// element in perfect isolation.
+  [[nodiscard]] ServeResponse serve_one(const ServeRequest& request) const;
+
+ private:
+  struct Tenant {
+    TenantStats stats;
+    Arena arena;
+    std::size_t batch_result_bytes = 0;  ///< running footprint this batch.
+
+    explicit Tenant(std::size_t chunk_bytes) : arena(chunk_bytes) {}
+  };
+
+  /// Execution-knob sanitization (never semantic): engine threads to 1,
+  /// kernel scope per `share_kernels`.
+  [[nodiscard]] ServeRequest sanitize(ServeRequest request) const;
+
+  ServeConfig config_;
+  mutable ThreadPool pool_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  BatchStats last_;
+  obs::Registry metrics_;
+};
+
+}  // namespace bnloc::serve

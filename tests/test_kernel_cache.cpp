@@ -1,11 +1,17 @@
 // KernelCache (inference/kernel_cache.hpp): exact-key memoization of range
-// kernels, stable addresses, and bit-equality with direct construction.
+// kernels, stable addresses, bit-equality with direct construction, and —
+// since the cache went process-global for the serve layer — thread safety
+// of concurrent lookups and registry parameter keying.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <thread>
 #include <vector>
 
+#include "core/grid_bncl.hpp"
+#include "deploy/scenario.hpp"
 #include "inference/kernel_cache.hpp"
 
 namespace bnloc {
@@ -96,6 +102,126 @@ TEST(KernelCache, RunClippingStaysInsideGrid) {
     total += v;
   }
   EXPECT_GT(total, 0.0);  // some of the annulus lands inside
+}
+
+// The cache is internally synchronized so the serve layer can share one
+// instance across every tenant in the process. Hammer one cache from many
+// threads over an overlapping distance set (this is the test the
+// threaded-sanitizer CI job runs under TSan): same distance must yield the
+// same kernel pointer everywhere, and the hit/miss ledger must balance.
+TEST(KernelCache, ConcurrentLookupsShareKernelsWithoutRacing) {
+  KernelCache cache(test_ranging(), test_shape());
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kDistances = 32;
+  constexpr std::size_t kRounds = 25;
+
+  std::vector<std::vector<const RangeKernel*>> seen(
+      kThreads, std::vector<const RangeKernel*>(kDistances, nullptr));
+  std::atomic<std::size_t> built_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t d = 0; d < kDistances; ++d) {
+          const double dist = 0.02 + 0.004 * static_cast<double>(d);
+          bool built = false;
+          const RangeKernel* k = cache.range(dist, &built);
+          if (built) built_count.fetch_add(1, std::memory_order_relaxed);
+          if (seen[t][d] == nullptr)
+            seen[t][d] = k;
+          else
+            ASSERT_EQ(seen[t][d], k);  // stable address per distance
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Every thread resolved every distance to the one shared kernel.
+  for (std::size_t t = 1; t < kThreads; ++t)
+    for (std::size_t d = 0; d < kDistances; ++d)
+      EXPECT_EQ(seen[0][d], seen[t][d]);
+  // Each distinct distance was built exactly once, ever; the ledger adds up.
+  EXPECT_EQ(built_count.load(), kDistances);
+  const KernelCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.built, kDistances);
+  EXPECT_EQ(stats.built + stats.shared, kThreads * kRounds * kDistances);
+  EXPECT_EQ(cache.size(), kDistances);
+}
+
+// Registry keying is exact-parameter: same (ranging, shape, trunc) resolve
+// to the same cache instance, any bit of difference to a different one.
+TEST(KernelCacheRegistry, KeysOnExactParameterBits) {
+  KernelCacheRegistry& registry = KernelCacheRegistry::instance();
+  // Parameters no other test uses, so pre-existing registry state (the
+  // registry is process-global) cannot alias these entries.
+  RangingSpec ranging = test_ranging();
+  ranging.noise_factor = 0.07251;
+  const GridShape shape{Aabb{{0.0, 0.0}, {1.0, 1.0}}, 40};
+
+  KernelCache& a = registry.acquire(ranging, shape);
+  KernelCache& b = registry.acquire(ranging, shape);
+  EXPECT_EQ(&a, &b);
+
+  RangingSpec nudged = ranging;
+  nudged.noise_factor = std::nextafter(ranging.noise_factor, 1.0);
+  EXPECT_NE(&registry.acquire(nudged, shape), &a);
+  const GridShape other_side{shape.field, 41};
+  EXPECT_NE(&registry.acquire(ranging, other_side), &a);
+  EXPECT_NE(&registry.acquire(ranging, shape, 3.0), &a);  // trunc differs
+
+  // Kernels built through one acquire are visible through the other.
+  bool built = false;
+  (void)a.range(0.093, &built);
+  EXPECT_TRUE(built);
+  (void)registry.acquire(ranging, shape).range(0.093, &built);
+  EXPECT_FALSE(built);
+
+  const KernelCacheRegistry::Totals totals = registry.totals();
+  EXPECT_GE(totals.caches, 4u);
+  EXPECT_GE(totals.kernels, 1u);
+}
+
+// The kernel_scope knob is an execution detail, never a semantic one:
+// run-scoped and process-scoped grid engines produce bit-identical results
+// (kernels are pure functions of their exact-bit cache key).
+TEST(KernelCacheRegistry, GridEngineScopeDoesNotChangeOutputs) {
+  ScenarioConfig scenario_config;
+  scenario_config.node_count = 30;
+  scenario_config.anchor_fraction = 0.2;
+  scenario_config.radio = make_radio(0.3, RangingType::log_normal, 0.1);
+  scenario_config.seed = 21;
+  const Scenario scenario = build_scenario(scenario_config);
+
+  GridBnclConfig config;
+  config.grid_side = 16;
+  config.pyramid_levels = 1;
+  config.iteration.max_iterations = 5;
+
+  config.kernel_scope = KernelScope::run;
+  Rng run_rng(7);
+  const LocalizationResult run_scoped =
+      GridBncl(config).localize(scenario, run_rng);
+
+  config.kernel_scope = KernelScope::process;
+  for (int pass = 0; pass < 2; ++pass) {  // second pass hits warm registry
+    Rng process_rng(7);
+    const LocalizationResult process_scoped =
+        GridBncl(config).localize(scenario, process_rng);
+    ASSERT_EQ(run_scoped.estimates.size(), process_scoped.estimates.size());
+    for (std::size_t i = 0; i < run_scoped.estimates.size(); ++i) {
+      ASSERT_EQ(run_scoped.estimates[i].has_value(),
+                process_scoped.estimates[i].has_value());
+      if (!run_scoped.estimates[i]) continue;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(run_scoped.estimates[i]->x),
+                std::bit_cast<std::uint64_t>(process_scoped.estimates[i]->x));
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(run_scoped.estimates[i]->y),
+                std::bit_cast<std::uint64_t>(process_scoped.estimates[i]->y));
+    }
+    EXPECT_EQ(run_scoped.iterations, process_scoped.iterations);
+    EXPECT_EQ(run_scoped.transport_hash, process_scoped.transport_hash);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,429 @@
+// bnloc-serve (serve/): JSON schema round-trips, the solo-vs-batch
+// determinism contract, in-order streaming, cross-tenant kernel sharing,
+// and per-tenant arena accounting. docs/SERVICE.md is the contract these
+// tests pin down.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/arena.hpp"
+#include "serve/json_io.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+
+namespace bnloc::serve {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Everything the determinism contract covers (all payload, no wall-clock).
+void expect_payload_identical(const ServeResponse& a, const ServeResponse& b) {
+  ASSERT_EQ(a.id, b.id);
+  EXPECT_EQ(a.tenant, b.tenant);
+  EXPECT_EQ(a.engine, b.engine);
+  ASSERT_EQ(a.ok, b.ok) << a.id << ": " << a.error << " vs " << b.error;
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.anchors, b.anchors);
+  EXPECT_EQ(a.localized, b.localized);
+  const LocalizationResult& ra = a.result;
+  const LocalizationResult& rb = b.result;
+  ASSERT_EQ(ra.estimates.size(), rb.estimates.size());
+  for (std::size_t i = 0; i < ra.estimates.size(); ++i) {
+    ASSERT_EQ(ra.estimates[i].has_value(), rb.estimates[i].has_value());
+    if (ra.estimates[i]) {
+      EXPECT_TRUE(same_bits(ra.estimates[i]->x, rb.estimates[i]->x));
+      EXPECT_TRUE(same_bits(ra.estimates[i]->y, rb.estimates[i]->y));
+    }
+  }
+  ASSERT_EQ(ra.covariances.size(), rb.covariances.size());
+  for (std::size_t i = 0; i < ra.covariances.size(); ++i) {
+    ASSERT_EQ(ra.covariances[i].has_value(), rb.covariances[i].has_value());
+    if (ra.covariances[i]) {
+      EXPECT_TRUE(same_bits(ra.covariances[i]->xx, rb.covariances[i]->xx));
+      EXPECT_TRUE(same_bits(ra.covariances[i]->xy, rb.covariances[i]->xy));
+      EXPECT_TRUE(same_bits(ra.covariances[i]->yy, rb.covariances[i]->yy));
+    }
+  }
+  EXPECT_EQ(ra.iterations, rb.iterations);
+  EXPECT_EQ(ra.converged, rb.converged);
+  EXPECT_EQ(ra.transport_hash, rb.transport_hash);
+  EXPECT_EQ(ra.comm.messages_sent, rb.comm.messages_sent);
+  EXPECT_EQ(ra.comm.bytes_sent, rb.comm.bytes_sent);
+  EXPECT_EQ(ra.comm.messages_retried, rb.comm.messages_retried);
+  ASSERT_EQ(a.report.errors.size(), b.report.errors.size());
+  for (std::size_t i = 0; i < a.report.errors.size(); ++i)
+    EXPECT_TRUE(same_bits(a.report.errors[i], b.report.errors[i]));
+  EXPECT_TRUE(same_bits(a.report.coverage, b.report.coverage));
+  EXPECT_TRUE(same_bits(a.report.penalized_mean, b.report.penalized_mean));
+}
+
+/// Tiny request: fast enough to serve dozens per test.
+ServeRequest tiny_request(const std::string& tenant, const std::string& id,
+                          std::uint64_t seed,
+                          EngineKind engine = EngineKind::grid) {
+  ServeRequest req;
+  req.tenant = tenant;
+  req.id = id;
+  req.engine = engine;
+  req.scenario.node_count = 24;
+  req.scenario.anchor_fraction = 0.25;
+  req.scenario.radio = make_radio(0.35, RangingType::log_normal, 0.1);
+  req.scenario.seed = seed;
+  req.algo_seed = seed * 7 + 1;
+  req.grid.grid_side = 12;
+  req.grid.pyramid_levels = 1;
+  req.grid.iteration.max_iterations = 4;
+  req.particle.particle_count = 32;
+  req.particle.iteration.max_iterations = 4;
+  req.gauss.iteration.max_iterations = 8;
+  return req;
+}
+
+// --- JSON reader ------------------------------------------------------------
+
+TEST(ServeJson, ParsesScalarsContainersAndEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(parse_json(R"({"a": [1, -2.5e1, true, null], "b\n": "x\u00e9"})",
+                         v, nullptr));
+  ASSERT_TRUE(v.is(JsonValue::Kind::object));
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items.size(), 4u);
+  EXPECT_DOUBLE_EQ(a->items[0].num, 1.0);
+  EXPECT_DOUBLE_EQ(a->items[1].num, -25.0);
+  EXPECT_TRUE(a->items[2].flag);
+  EXPECT_TRUE(a->items[3].is(JsonValue::Kind::null));
+  const JsonValue* b = v.find("b\n");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->str, "x\xC3\xA9");  // U+00E9 as UTF-8
+}
+
+TEST(ServeJson, RejectsMalformedInputWithPosition) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(parse_json("{\"a\": }", v, &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+  EXPECT_FALSE(parse_json("[1, 2] trailing", v, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  EXPECT_FALSE(parse_json("\"\\u12\"", v, &error));
+  EXPECT_FALSE(parse_json("01abc", v, &error));
+}
+
+TEST(ServeJson, DuplicateKeysKeepLastOccurrence) {
+  JsonValue v;
+  ASSERT_TRUE(parse_json(R"({"k": 1, "k": 2})", v, nullptr));
+  ASSERT_NE(v.find("k"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("k")->num, 2.0);
+}
+
+// --- Request decoding -------------------------------------------------------
+
+TEST(ServeRequestDecode, FullRequestRoundTrip) {
+  const char* text = R"({
+    "tenant": "acme", "id": "r1", "engine": "particle", "algo_seed": 9,
+    "scenario": {"nodes": 40, "anchor_fraction": 0.2, "seed": 3,
+                 "deployment": "clusters", "anchor_placement": "perimeter",
+                 "radio_range": 0.3, "noise": 0.05, "ranging": "gaussian",
+                 "prior": "widened"},
+    "engine_config": {"max_iterations": 6, "convergence_tol": 0.005,
+                      "particle_count": 50, "robust": true, "async": true,
+                      "loss": 0.1}
+  })";
+  JsonValue v;
+  ASSERT_TRUE(parse_json(text, v, nullptr));
+  ServeRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_serve_request(v, req, &error)) << error;
+  EXPECT_EQ(req.tenant, "acme");
+  EXPECT_EQ(req.engine, EngineKind::particle);
+  EXPECT_EQ(req.algo_seed, 9u);
+  EXPECT_EQ(req.scenario.node_count, 40u);
+  EXPECT_EQ(req.scenario.deployment.kind, DeploymentKind::clusters);
+  EXPECT_EQ(req.scenario.anchor_placement, AnchorPlacement::perimeter);
+  EXPECT_EQ(req.scenario.radio.ranging.type, RangingType::gaussian);
+  EXPECT_DOUBLE_EQ(req.scenario.radio.range, 0.3);
+  EXPECT_EQ(req.scenario.prior_quality, PriorQuality::widened);
+  EXPECT_EQ(req.particle.particle_count, 50u);
+  EXPECT_EQ(req.particle.iteration.max_iterations, 6u);
+  // Shared knobs land on all three engine configs.
+  EXPECT_EQ(req.grid.iteration.max_iterations, 6u);
+  EXPECT_TRUE(req.grid.robustness.robust_likelihood);
+  EXPECT_TRUE(req.gauss.transport.async);
+  EXPECT_DOUBLE_EQ(req.particle.transport.radio.loss, 0.1);
+}
+
+TEST(ServeRequestDecode, UnknownFieldsAreErrors) {
+  JsonValue v;
+  ServeRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_json(R"({"scenaro": {}})", v, nullptr));
+  EXPECT_FALSE(parse_serve_request(v, req, &error));
+  EXPECT_NE(error.find("scenaro"), std::string::npos);
+  ASSERT_TRUE(parse_json(R"({"scenario": {"node_count": 5}})", v, nullptr));
+  EXPECT_FALSE(parse_serve_request(v, req, &error));
+  EXPECT_NE(error.find("node_count"), std::string::npos);
+}
+
+TEST(ServeRequestDecode, EngineThreadsKnobIsRejected) {
+  JsonValue v;
+  ServeRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_json(R"({"engine_config": {"threads": 4}})", v, nullptr));
+  EXPECT_FALSE(parse_serve_request(v, req, &error));
+  EXPECT_NE(error.find("service owns parallelism"), std::string::npos);
+}
+
+TEST(ServeRequestDecode, BatchAcceptsBothTopLevelForms) {
+  std::vector<ServeRequest> reqs;
+  std::string error;
+  ASSERT_TRUE(parse_serve_batch(R"([{"id": "a"}, {}])", reqs, &error)) << error;
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].id, "a");
+  EXPECT_EQ(reqs[1].id, "req-1");  // missing ids default to req-<index>
+
+  ASSERT_TRUE(parse_serve_batch(R"({"requests": [{"tenant": "t"}]})", reqs,
+                                &error));
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].tenant, "t");
+
+  EXPECT_FALSE(parse_serve_batch(R"({"jobs": []})", reqs, &error));
+  EXPECT_FALSE(parse_serve_batch(R"([{"engine": "dvhop"}])", reqs, &error));
+  EXPECT_NE(error.find("request 0"), std::string::npos);
+}
+
+// --- Response encoding ------------------------------------------------------
+
+TEST(ServeResponseJson, EmitsSchemaFieldsAndParsesBack) {
+  BatchService service(ServeConfig{.threads = 1});
+  const ServeResponse response = service.serve_one(tiny_request("t", "r", 5));
+  ASSERT_TRUE(response.ok) << response.error;
+  const std::string line = serve_response_json(response);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line per response
+
+  JsonValue v;
+  ASSERT_TRUE(parse_json(line, v, nullptr));
+  for (const char* key :
+       {"type", "tenant", "id", "engine", "ok", "nodes", "anchors",
+        "localized", "coverage", "mean_error", "median_error", "q90_error",
+        "rmse_error", "penalized_mean", "iterations", "converged",
+        "msgs_per_node", "bytes_per_node", "transport_hash", "solver_seconds",
+        "serve_seconds"})
+    EXPECT_NE(v.find(key), nullptr) << key;
+  EXPECT_EQ(v.find("type")->str, "result");
+  EXPECT_EQ(v.find("transport_hash")->str.size(), 16u);  // 64-bit hex
+  EXPECT_EQ(v.find("engine")->str, "bncl-grid");
+}
+
+TEST(ServeResponseJson, FailedRequestCarriesErrorAndOmitsResults) {
+  BatchService service(ServeConfig{.threads = 1});
+  ServeRequest bad = tiny_request("t", "bad", 1);
+  bad.scenario.node_count = 1;  // validate(): nodes must be >= 2
+  const ServeResponse response = service.serve_one(bad);
+  EXPECT_FALSE(response.ok);
+  const std::string line = serve_response_json(response);
+  JsonValue v;
+  ASSERT_TRUE(parse_json(line, v, nullptr));
+  ASSERT_NE(v.find("error"), nullptr);
+  EXPECT_EQ(v.find("mean_error"), nullptr);
+  EXPECT_FALSE(v.find("ok")->flag);
+}
+
+// --- The determinism contract ----------------------------------------------
+
+TEST(BatchService, SoloVsBatchBitIdenticalAcrossThreadCounts) {
+  // 32 mixed-tenant requests over repeated worlds, all three engines plus
+  // an async-transport grid leg — the contract of docs/SERVICE.md.
+  std::vector<ServeRequest> batch;
+  const char* tenants[] = {"a", "b", "c"};
+  for (std::size_t i = 0; i < 32; ++i) {
+    ServeRequest req = tiny_request(tenants[i % 3], "r" + std::to_string(i),
+                                    100 + (i % 4));
+    if (i % 8 == 3) req.engine = EngineKind::particle;
+    if (i % 8 == 5) req.engine = EngineKind::gauss;
+    if (i % 8 == 6) {
+      req.grid.transport.async = true;
+      req.grid.transport.radio.loss = 0.05;
+    }
+    batch.push_back(std::move(req));
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    BatchService batch_service(ServeConfig{.threads = threads});
+    const auto in_batch = batch_service.run_batch(batch);
+    ASSERT_EQ(in_batch.size(), batch.size());
+    BatchService solo_service(ServeConfig{.threads = 1});
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      expect_payload_identical(solo_service.serve_one(batch[i]), in_batch[i]);
+  }
+}
+
+TEST(BatchService, SharingPolicyDoesNotChangeOutputs) {
+  const ServeRequest req = tiny_request("t", "r", 3);
+  BatchService shared(ServeConfig{.threads = 1, .share_kernels = true});
+  BatchService isolated(ServeConfig{.threads = 1, .share_kernels = false});
+  expect_payload_identical(shared.serve_one(req), isolated.serve_one(req));
+}
+
+// --- Streaming --------------------------------------------------------------
+
+TEST(BatchService, StreamsResultsInRequestOrder) {
+  std::vector<ServeRequest> batch;
+  for (std::size_t i = 0; i < 16; ++i)
+    batch.push_back(tiny_request("t" + std::to_string(i % 2),
+                                 "r" + std::to_string(i), 50 + i));
+  BatchService service(ServeConfig{.threads = 4});
+  std::vector<std::string> streamed_ids;
+  std::vector<std::string> lines;
+  const auto responses = service.run_batch(
+      batch, [&](const ServeResponse& response, std::string_view line) {
+        streamed_ids.push_back(response.id);
+        lines.emplace_back(line);
+      });
+  ASSERT_EQ(streamed_ids.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed_ids[i], batch[i].id);  // stream order == request order
+    EXPECT_EQ(lines[i], serve_response_json(responses[i]));
+  }
+}
+
+TEST(BatchService, InvalidRequestsEmitFailureLinesWithoutStoppingTheBatch) {
+  std::vector<ServeRequest> batch;
+  batch.push_back(tiny_request("t", "good-0", 1));
+  ServeRequest bad = tiny_request("t", "bad", 2);
+  bad.scenario.radio.range = -1.0;
+  batch.push_back(std::move(bad));
+  batch.push_back(tiny_request("t", "good-1", 3));
+
+  BatchService service(ServeConfig{.threads = 2});
+  std::size_t streamed = 0;
+  const auto responses =
+      service.run_batch(batch, [&](const ServeResponse&, std::string_view) {
+        ++streamed;
+      });
+  EXPECT_EQ(streamed, 3u);
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_NE(responses[1].error.find("radio_range"), std::string::npos);
+  EXPECT_TRUE(responses[2].ok);
+  EXPECT_EQ(service.last_batch().failed, 1u);
+}
+
+// --- Cross-tenant kernel sharing --------------------------------------------
+
+TEST(BatchService, TenantsWithOverlappingDistancesShareTheGlobalCache) {
+  // Two tenants measure the same world (same scenario seed/config): the
+  // second request's kernels must come out of the process-global cache.
+  // Unique radio parameters keep this test's registry entry disjoint from
+  // anything other tests built.
+  std::vector<ServeRequest> batch;
+  for (const char* tenant : {"hit-a", "hit-b"}) {
+    ServeRequest req = tiny_request(tenant, tenant, 77);
+    req.scenario.radio = make_radio(0.351, RangingType::log_normal, 0.101);
+    batch.push_back(std::move(req));
+  }
+  BatchService service(ServeConfig{.threads = 1, .share_kernels = true});
+  const auto responses = service.run_batch(batch);
+  ASSERT_TRUE(responses[0].ok && responses[1].ok);
+  const std::uint64_t hits =
+      service.metrics().counter("grid.kernels.process.hit");
+  const std::uint64_t misses =
+      service.metrics().counter("grid.kernels.process.miss");
+  EXPECT_GT(misses, 0u);  // first tenant builds
+  // Identical worlds → the second tenant's lookups all hit: at least half
+  // of all lookups are hits.
+  EXPECT_GE(hits, misses);
+  // Same world, same seeds → identical solutions (modulo tenant identity).
+  ServeResponse normalized = responses[1];
+  normalized.tenant = responses[0].tenant;
+  normalized.id = responses[0].id;
+  expect_payload_identical(responses[0], normalized);
+}
+
+TEST(BatchService, KernelBudgetTrimsTheRegistryBetweenBatches) {
+  ServeConfig config;
+  config.threads = 1;
+  config.share_kernels = true;
+  config.kernel_budget_mb = 0;  // never trim
+  {
+    BatchService service(config);
+    ServeRequest req = tiny_request("t", "r", 13);
+    req.scenario.radio = make_radio(0.352, RangingType::log_normal, 0.102);
+    (void)service.run_batch({req});
+    EXPECT_GT(service.last_batch().kernel_totals.kernels, 0u);
+  }
+  // A 1 MB budget with a fresh tiny batch: registry survives (it is far
+  // below 1 MB only if small — just assert trim ran without breaking the
+  // next batch).
+  config.kernel_budget_mb = 1;
+  BatchService service(config);
+  ServeRequest req = tiny_request("t", "r2", 14);
+  req.scenario.radio = make_radio(0.353, RangingType::log_normal, 0.103);
+  const auto first = service.run_batch({req});
+  const auto second = service.run_batch({req});
+  ASSERT_TRUE(first[0].ok && second[0].ok);
+  expect_payload_identical(first[0], second[0]);
+}
+
+// --- Tenant accounting and arenas -------------------------------------------
+
+TEST(BatchService, TenantStatsAccumulateAcrossBatches) {
+  BatchService service(ServeConfig{.threads = 2});
+  (void)service.run_batch(
+      {tiny_request("x", "r0", 1), tiny_request("y", "r1", 2)});
+  (void)service.run_batch(
+      {tiny_request("x", "r2", 3), tiny_request("x", "r3", 4)});
+  const auto tenants = service.tenants();
+  ASSERT_EQ(tenants.size(), 2u);
+  EXPECT_EQ(tenants[0].tenant, "x");  // sorted by tenant id
+  EXPECT_EQ(tenants[0].requests, 3u);
+  EXPECT_EQ(tenants[1].tenant, "y");
+  EXPECT_EQ(tenants[1].requests, 1u);
+  EXPECT_GT(tenants[0].arena_high_water, 0u);
+  EXPECT_GT(tenants[0].result_bytes_peak, 0u);
+}
+
+TEST(BatchService, ArenasAreReusedAcrossBatchesNotGrown)  {
+  BatchService service(ServeConfig{.threads = 1});
+  const std::vector<ServeRequest> batch = {tiny_request("t", "r0", 1),
+                                           tiny_request("t", "r1", 2)};
+  (void)service.run_batch(batch);
+  const auto after_first = service.tenants().at(0);
+  (void)service.run_batch(batch);  // identical load: no new chunks needed
+  const auto after_second = service.tenants().at(0);
+  EXPECT_EQ(after_second.arena_high_water, after_first.arena_high_water);
+  EXPECT_EQ(after_second.requests, 4u);
+}
+
+TEST(ServeArena, StoreResetReuseAndHighWater) {
+  Arena arena(256);
+  const std::string_view a = arena.store("hello");
+  const std::string_view b = arena.store("world");
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "world");
+  const Arena::Stats first = arena.stats();
+  EXPECT_GE(first.bytes_used, 10u);
+  EXPECT_EQ(first.high_water, first.bytes_used);
+  EXPECT_GE(first.chunks, 1u);
+
+  arena.reset();
+  EXPECT_EQ(arena.stats().bytes_used, 0u);
+  EXPECT_EQ(arena.stats().bytes_reserved, first.bytes_reserved);  // kept
+  const std::string_view c = arena.store("hello");
+  EXPECT_EQ(c, "hello");
+  EXPECT_EQ(c.data(), a.data());  // same storage reused
+  EXPECT_EQ(arena.stats().high_water, first.high_water);
+
+  // An allocation bigger than the chunk size gets its own chunk.
+  const std::string big(1024, 'x');
+  EXPECT_EQ(arena.store(big), big);
+  EXPECT_GT(arena.stats().bytes_reserved, first.bytes_reserved);
+}
+
+}  // namespace
+}  // namespace bnloc::serve
