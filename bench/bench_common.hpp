@@ -119,6 +119,11 @@ class BenchJson {
     if (path_.empty()) return;
     w_.begin_object();
     w_.kv("bench", bench_id);
+    // Provenance stamp: results files are kept across PRs, so every line
+    // records what produced it (library version, resolved SIMD dispatch,
+    // harness threads) — the trajectory stays self-describing.
+    w_.kv("version", version());
+    w_.kv("simd", simd::active_name());
     w_.kv("nodes", static_cast<std::uint64_t>(bc.nodes));
     w_.kv("trials", static_cast<std::uint64_t>(bc.trials));
     w_.kv("threads", static_cast<std::uint64_t>(bc.threads));

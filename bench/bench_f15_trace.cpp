@@ -18,9 +18,37 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <vector>
 
 using namespace bnloc;
 using namespace bnloc::bench;
+
+namespace {
+
+/// The deterministic slice of a registry snapshot: event counters and
+/// histograms (work accounting, message/kernel counters, residual
+/// distributions). Timers and gauges carry wall-clock and are excluded.
+std::vector<obs::MetricEntry> event_metrics(const obs::Registry& reg) {
+  std::vector<obs::MetricEntry> out;
+  for (obs::MetricEntry& e : reg.snapshot())
+    if (e.kind == obs::MetricKind::counter ||
+        e.kind == obs::MetricKind::histogram)
+      out.push_back(std::move(e));
+  return out;
+}
+
+bool same_event_metrics(const std::vector<obs::MetricEntry>& a,
+                        const std::vector<obs::MetricEntry>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].name != b[i].name || a[i].kind != b[i].kind ||
+        a[i].count != b[i].count || a[i].hist_sum != b[i].hist_sum ||
+        a[i].buckets != b[i].buckets)
+      return false;
+  return true;
+}
+
+}  // namespace
 
 int main() {
   const BenchConfig bc = BenchConfig::from_env();
@@ -96,16 +124,20 @@ int main() {
     const GridBncl grid;
     const GaussianBncl gauss;
     const std::string report_path = env_string("BNLOC_REPORT_JSON", "");
-    AsciiTable b({"algorithm", "threads", "mean/R", "on==off", "==serial"});
+    AsciiTable b({"algorithm", "threads", "mean/R", "on==off", "==serial",
+                  "work==", "spans"});
     for (const Localizer* algo : {static_cast<const Localizer*>(&grid),
                                   static_cast<const Localizer*>(&gauss)}) {
       AggregateRow serial;
+      std::vector<obs::MetricEntry> serial_events;
+      std::size_t serial_spans = 0;
       for (std::size_t threads : {1u, 4u}) {
         RunOptions off;
         off.threads = threads;
         const AggregateRow plain = run_algorithm(*algo, base, bc.trials, off);
 
         obs::RunTelemetry telemetry;
+        telemetry.span_trials = true;  // full tier: spans ride along too
         RunOptions on;
         on.threads = threads;
         on.telemetry = &telemetry;
@@ -115,11 +147,26 @@ int main() {
         const bool on_off = same_summaries(plain, instrumented);
         if (threads == 1) serial = plain;
         const bool vs_serial = same_summaries(serial, instrumented);
-        ok = ok && on_off && vs_serial;
+        // The deterministic telemetry itself must not depend on the thread
+        // count either: work counters, message counters, and residual
+        // histograms fold per trial in trial order, and the span *count* is
+        // a pure function of the algorithm's control flow (durations move,
+        // the tree shape does not).
+        const std::vector<obs::MetricEntry> events =
+            event_metrics(telemetry.aggregate.registry);
+        const std::size_t span_count = telemetry.aggregate.spans.size();
+        if (threads == 1) {
+          serial_events = events;
+          serial_spans = span_count;
+        }
+        const bool work_match = same_event_metrics(events, serial_events) &&
+                                span_count == serial_spans && span_count > 0;
+        ok = ok && on_off && vs_serial && work_match;
         bj.add(instrumented, "threads=" + std::to_string(threads));
         b.add_row({plain.algo, std::to_string(threads),
                    AsciiTable::fmt(plain.error.mean, 4),
-                   on_off ? "yes" : "NO", vs_serial ? "yes" : "NO"});
+                   on_off ? "yes" : "NO", vs_serial ? "yes" : "NO",
+                   work_match ? "yes" : "NO", std::to_string(span_count)});
 
         if (algo == &grid && threads == 1 && !report_path.empty()) {
           obs::RunReport run_report = obs::make_run_report(

@@ -295,6 +295,19 @@ int main() {
                     reg.counter("grid.kernels.shared")),
                 static_cast<unsigned long long>(
                     reg.counter("grid.products.reused")));
+    // Work accounting: the counters behind the speedup. The reuse layer
+    // shows up directly as fewer kernel cells scanned per trial.
+    const auto& slow_reg = slow_rt.aggregate.registry;
+    std::printf("work/trial: fast off %.0f cell visits, %.0f kernel cells; "
+                "fast on %.0f cell visits, %.0f kernel cells\n",
+                static_cast<double>(slow_reg.counter("grid.cell_visits")) /
+                    static_cast<double>(bc.trials),
+                static_cast<double>(slow_reg.counter("grid.kernel_cells")) /
+                    static_cast<double>(bc.trials),
+                static_cast<double>(reg.counter("grid.cell_visits")) /
+                    static_cast<double>(bc.trials),
+                static_cast<double>(reg.counter("grid.kernel_cells")) /
+                    static_cast<double>(bc.trials));
 
     if (!same_summaries(fast_row, slow_row)) {
       std::printf("FAIL: fast path changed aggregate output\n");

@@ -22,8 +22,11 @@
 // convergence tolerance.
 #include "bench_common.hpp"
 
+#include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 using namespace bnloc;
 using namespace bnloc::bench;
@@ -33,6 +36,10 @@ namespace {
 struct Measured {
   AggregateRow row;     // aggregate of the last repetition (for the JSON)
   double best_seconds;  // min over repetitions of the per-trial mean
+  double cell_visits;   // grid.cell_visits per trial (last repetition)
+  double kernel_cells;  // grid.kernel_cells per trial (last repetition)
+  // grid.pyramid.l<N>.{roi_cells, cell_visits} per trial, finest first.
+  std::vector<std::pair<double, double>> levels;
 };
 
 Measured measure(const GridBncl& engine, const ScenarioConfig& cfg,
@@ -40,9 +47,35 @@ Measured measure(const GridBncl& engine, const ScenarioConfig& cfg,
   Measured m;
   m.best_seconds = 0.0;
   for (std::size_t r = 0; r < reps; ++r) {
-    m.row = run_algorithm(engine, cfg, trials);
+    // Telemetry on the timed run is fair game: the counters are plain
+    // integer adds and the contract (P1 part C, F15) is that they never
+    // change an output bit — only the wall column could notice, and the
+    // min-over-reps absorbs that.
+    obs::RunTelemetry rt;
+    rt.trace_trials = false;
+    RunOptions opt = RunOptions::from_env();
+    opt.telemetry = &rt;
+    m.row = run_algorithm(engine, cfg, trials, opt);
     if (r == 0 || m.row.seconds < m.best_seconds)
       m.best_seconds = m.row.seconds;
+    const auto& reg = rt.aggregate.registry;
+    const double tr = static_cast<double>(trials);
+    m.cell_visits = static_cast<double>(reg.counter("grid.cell_visits")) / tr;
+    m.kernel_cells =
+        static_cast<double>(reg.counter("grid.kernel_cells")) / tr;
+    m.levels.clear();
+    for (std::size_t lvl = 0;; ++lvl) {
+      char roi_name[48], visits_name[48];
+      std::snprintf(roi_name, sizeof roi_name, "grid.pyramid.l%zu.roi_cells",
+                    lvl);
+      std::snprintf(visits_name, sizeof visits_name,
+                    "grid.pyramid.l%zu.cell_visits", lvl);
+      const std::uint64_t roi = reg.counter(roi_name);
+      if (roi == 0) break;
+      m.levels.emplace_back(static_cast<double>(roi) / tr,
+                            static_cast<double>(reg.counter(visits_name)) /
+                                tr);
+    }
   }
   return m;
 }
@@ -66,6 +99,12 @@ int main() {
   };
   const Gate gates[] = {{48, 2.0}, {96, 4.0}};
   const std::size_t reps = bc.fast ? 2 : 3;
+  struct Work {
+    std::size_t side;
+    Measured single;
+    Measured pyramid;
+  };
+  std::vector<Work> work;
 
   std::printf("simd dispatch: %s\n\n", simd::active_name());
   AsciiTable t({"grid_side", "variant", "mean/R", "q90/R", "best ms/run",
@@ -99,8 +138,31 @@ int main() {
                AsciiTable::fmt(speedup, 2),
                std::string(speed_ok ? "speed ok" : "SPEED FAIL") + ", " +
                    (error_ok ? "error ok" : "ERROR FAIL")});
+    work.push_back({g.side, ms, mp});
   }
   t.print(std::cout);
+
+  // Work accounting: why the pyramid is faster. grid.cell_visits counts
+  // one touch per ROI cell per dense belief op; the per-level rows show
+  // the coarse rung doing most rounds on a quarter-size grid while the
+  // fine rung runs inside small regions of interest.
+  std::printf("\n");
+  for (const Work& wk : work) {
+    std::printf("work/trial at %zu: single %.2e cell visits, %.2e kernel "
+                "cells; pyramid %.2e cell visits (%.1fx less), %.2e kernel "
+                "cells\n",
+                wk.side, wk.single.cell_visits, wk.single.kernel_cells,
+                wk.pyramid.cell_visits,
+                wk.pyramid.cell_visits > 0.0
+                    ? wk.single.cell_visits / wk.pyramid.cell_visits
+                    : 0.0,
+                wk.pyramid.kernel_cells);
+    for (std::size_t lvl = 0; lvl < wk.pyramid.levels.size(); ++lvl)
+      std::printf("  pyramid level %zu: %.2e roi cells, %.2e cell visits "
+                  "per trial\n",
+                  lvl, wk.pyramid.levels[lvl].first,
+                  wk.pyramid.levels[lvl].second);
+  }
   std::printf("gates: >=2x at 48, >=4x at 96, pyramid mean error within "
               "1%% of single-level\n");
   if (!ok) {

@@ -66,6 +66,12 @@ int usage(const char* argv0) {
                "  --threads N    worker threads (default: hardware)\n"
                "  --no-share     per-request kernel caches (no cross-tenant "
                "sharing)\n"
+               "  --repeat N     serve the batch N times (warm-cache/metrics "
+               "runs)\n"
+               "  --metrics-out P  write the folded registry to P as "
+               "Prometheus text\n"
+               "  --trace-out P    record request spans, write Chrome/Perfetto "
+               "trace JSON to P\n"
                "  --quiet        suppress the stderr summary\n",
                argv0);
   return 2;
@@ -76,6 +82,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   serve::ServeConfig config;
   std::string input;
+  std::string metrics_out, trace_out;
+  std::size_t repeat = 1;
   bool quiet = false;
   bool have_input = false;
 
@@ -90,6 +98,17 @@ int main(int argc, char** argv) {
       config.threads = static_cast<std::size_t>(std::strtoul(argv[i], nullptr, 10));
     } else if (arg == "--no-share") {
       config.share_kernels = false;
+    } else if (arg == "--repeat") {
+      if (++i >= argc) return usage(argv[0]);
+      repeat = static_cast<std::size_t>(std::strtoul(argv[i], nullptr, 10));
+      if (repeat == 0) repeat = 1;
+    } else if (arg == "--metrics-out") {
+      if (++i >= argc) return usage(argv[0]);
+      metrics_out = argv[i];
+    } else if (arg == "--trace-out") {
+      if (++i >= argc) return usage(argv[0]);
+      trace_out = argv[i];
+      config.collect_spans = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -124,17 +143,17 @@ int main(int argc, char** argv) {
   }
 
   serve::BatchService service(config);
-  const auto responses = service.run_batch(
-      std::move(requests),
-      [](const serve::ServeResponse&, std::string_view line) {
-        std::fwrite(line.data(), 1, line.size(), stdout);
-        std::fputc('\n', stdout);
-        std::fflush(stdout);  // stream lines as they complete, not at exit
-      });
-
   bool all_ok = true;
-  for (const auto& response : responses)
-    if (!response.ok) all_ok = false;
+  for (std::size_t round = 0; round < repeat; ++round) {
+    const auto responses = service.run_batch(
+        requests, [](const serve::ServeResponse&, std::string_view line) {
+          std::fwrite(line.data(), 1, line.size(), stdout);
+          std::fputc('\n', stdout);
+          std::fflush(stdout);  // stream lines as they complete, not at exit
+        });
+    for (const auto& response : responses)
+      if (!response.ok) all_ok = false;
+  }
 
   if (!quiet) {
     const serve::BatchStats& batch = service.last_batch();
@@ -145,12 +164,15 @@ int main(int argc, char** argv) {
                  batch.wall_seconds, batch.requests_per_second(),
                  batch.latency_quantile(0.50) * 1e3,
                  batch.latency_quantile(0.99) * 1e3);
-    std::fprintf(stderr, "%-12s %9s %7s %12s %14s\n", "tenant", "requests",
-                 "failed", "latency (s)", "arena peak (B)");
+    std::fprintf(stderr, "%-12s %9s %7s %12s %14s %9s %9s %9s\n", "tenant",
+                 "requests", "failed", "latency (s)", "arena peak (B)",
+                 "p50 (ms)", "p95 (ms)", "p99 (ms)");
     for (const serve::TenantStats& tenant : service.tenants())
-      std::fprintf(stderr, "%-12s %9zu %7zu %12.3f %14zu\n",
+      std::fprintf(stderr, "%-12s %9zu %7zu %12.3f %14zu %9.1f %9.1f %9.1f\n",
                    tenant.tenant.c_str(), tenant.requests, tenant.failed,
-                   tenant.total_seconds, tenant.arena_high_water);
+                   tenant.total_seconds, tenant.arena_high_water,
+                   tenant.latency_p50 * 1e3, tenant.latency_p95 * 1e3,
+                   tenant.latency_p99 * 1e3);
     if (service.config().share_kernels) {
       const auto& totals = batch.kernel_totals;
       std::fprintf(stderr,
@@ -159,6 +181,18 @@ int main(int argc, char** argv) {
                    totals.caches, totals.kernels, totals.built, totals.shared,
                    totals.approx_bytes / 1024);
     }
+  }
+  if (!metrics_out.empty() &&
+      !obs::export_prometheus(metrics_out, service.metrics())) {
+    std::fprintf(stderr, "bnloc_serve: cannot write '%s'\n",
+                 metrics_out.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() &&
+      !obs::export_trace_events_json(trace_out, service.spans())) {
+    std::fprintf(stderr, "bnloc_serve: cannot write '%s'\n",
+                 trace_out.c_str());
+    return 1;
   }
   return all_ok ? 0 : 1;
 }

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts bnloc_serve exports.
+
+Two subcommands, one per artifact:
+
+  check_metrics.py prom FILE [--require FAMILY ...] [--monotonic-since EARLIER]
+      FILE is a Prometheus text-format exposition (--metrics-out). Checks
+      that every line is well-formed, that histogram bucket series are
+      cumulative and consistent with their _count, that each --require
+      family is present, and — given an exposition from a smaller run of
+      the same deterministic workload — that every integer event counter
+      (`*_total` except `*_seconds_total`) and histogram `_count` is
+      monotonically non-decreasing. Wall-clock-derived series (timer
+      seconds, latency buckets, `_sum`) are never compared: two processes
+      do not share a clock budget.
+
+  check_metrics.py trace FILE [--require NAME ...] [--contains OUTER INNER]
+      FILE is a Chrome trace-event JSON (--trace-out). Checks that it
+      parses, that every event is a well-formed "X" complete event with a
+      valid parent reference, that each --require span name appears, and
+      that for each --contains pair some INNER span sits below an OUTER
+      span in the parent chain.
+
+Exit status 0 when every check passes; 1 with a message per failure.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+LINE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # family
+    r"(\{[^{}]*\})?"                     # optional label body
+    r" (-?[0-9][0-9eE.+-]*|[+-]Inf|NaN)$"  # value
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_metrics: {e}", file=sys.stderr)
+    return 1
+
+
+def parse_prom(path):
+    """Return ({series_name_with_labels: value}, {family: type}, errors)."""
+    series, types, errors = {}, {}, []
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) >= 4 and parts[1] == "TYPE":
+                    types[parts[2]] = parts[3]
+                continue
+            m = LINE_RE.match(line)
+            if not m:
+                errors.append(f"{path}:{lineno}: malformed line: {line!r}")
+                continue
+            family, labels, value = m.group(1), m.group(2) or "", m.group(3)
+            if labels and not re.fullmatch(
+                    r"\{" + LABEL_RE.pattern + r"(," + LABEL_RE.pattern +
+                    r")*\}", labels):
+                errors.append(f"{path}:{lineno}: malformed labels: {labels!r}")
+                continue
+            key = family + labels
+            if key in series:
+                errors.append(f"{path}:{lineno}: duplicate series {key!r}")
+            series[key] = value
+    return series, types, errors
+
+
+def series_labels(key):
+    """Split 'family{a="1",le="5"}' -> (family, {a: 1, le: 5})."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    return key[:brace], dict(LABEL_RE.findall(key[brace + 1:-1]))
+
+
+def check_histograms(series, types):
+    """Cumulative buckets, +Inf present and equal to _count."""
+    errors = []
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        # Group bucket series of this family by their non-le labels.
+        groups = {}
+        for key, value in series.items():
+            fam, labels = series_labels(key)
+            if fam != family + "_bucket":
+                continue
+            rest = tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le"))
+            groups.setdefault(rest, []).append((labels.get("le"), value))
+        if not groups:
+            errors.append(f"histogram {family}: no _bucket series")
+        for rest, buckets in groups.items():
+            label_note = f" {dict(rest)}" if rest else ""
+            finite = [(float(le), float(v)) for le, v in buckets
+                      if le != "+Inf"]
+            inf = [float(v) for le, v in buckets if le == "+Inf"]
+            if not inf:
+                errors.append(f"{family}{label_note}: missing le=\"+Inf\"")
+                continue
+            finite.sort()
+            counts = [v for _, v in finite] + inf
+            if any(b > a for b, a in zip(counts, counts[1:])):
+                errors.append(f"{family}{label_note}: buckets not cumulative")
+            count_key = family + "_count" + (
+                "{" + ",".join(f'{k}="{v}"' for k, v in rest) + "}"
+                if rest else "")
+            count = series.get(count_key)
+            if count is None:
+                errors.append(f"{family}{label_note}: missing _count")
+            elif float(count) != inf[0]:
+                errors.append(
+                    f"{family}{label_note}: +Inf bucket {inf[0]} != "
+                    f"_count {count}")
+    return errors
+
+
+def is_event_counter(key):
+    """True for the deterministic integer counters the monotonic check may
+    compare: *_total except timer-derived *_seconds_total, plus histogram
+    _count series."""
+    family, _ = series_labels(key)
+    if family.endswith("_seconds_total"):
+        return False
+    return family.endswith("_total") or family.endswith("_count")
+
+
+def cmd_prom(args):
+    series, types, errors = parse_prom(args.file)
+    if not series:
+        errors.append(f"{args.file}: no series found")
+    for key in series:
+        family, _ = series_labels(key)
+        base = re.sub(r"_(bucket|sum|count)$", "", family)
+        if family not in types and base not in types:
+            errors.append(f"{args.file}: series {key!r} has no TYPE header")
+    errors += check_histograms(series, types)
+    for family in args.require:
+        if family not in types and not any(
+                series_labels(k)[0] == family for k in series):
+            errors.append(f"{args.file}: required family {family!r} missing")
+    if args.monotonic_since:
+        earlier, _, errs = parse_prom(args.monotonic_since)
+        errors += errs
+        grew = False
+        for key, value in earlier.items():
+            if not is_event_counter(key):
+                continue
+            later = series.get(key)
+            if later is None:
+                errors.append(f"counter {key!r} disappeared in {args.file}")
+            elif float(later) < float(value):
+                errors.append(
+                    f"counter {key!r} went backwards: {value} -> {later}")
+            elif float(later) > float(value):
+                grew = True
+        if not grew:
+            errors.append("no event counter grew between the two runs")
+    if errors:
+        return fail(errors)
+    print(f"check_metrics: {args.file}: {len(series)} series, "
+          f"{len(types)} families ok")
+    return 0
+
+
+def cmd_trace(args):
+    errors = []
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail([f"{args.file}: {e}"])
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail([f"{args.file}: traceEvents missing or empty"])
+    by_id = {}
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "ts", "dur", "pid", "tid", "args"):
+            if field not in ev:
+                errors.append(f"event {i}: missing {field!r}")
+        if ev.get("ph") != "X":
+            errors.append(f"event {i}: ph {ev.get('ph')!r} != 'X'")
+        ident = ev.get("args", {}).get("id")
+        if ident is None:
+            errors.append(f"event {i}: missing args.id")
+        else:
+            by_id[int(ident)] = ev
+    for i, ev in enumerate(events):
+        parent = ev.get("args", {}).get("parent", -1)
+        if parent >= 0 and int(parent) not in by_id:
+            errors.append(f"event {i}: dangling parent {parent}")
+        if parent == ev.get("args", {}).get("id"):
+            errors.append(f"event {i}: is its own parent")
+    names = {ev.get("name") for ev in events}
+    for name in args.require:
+        if name not in names:
+            errors.append(f"{args.file}: required span {name!r} missing")
+
+    def ancestors(ev):
+        seen = set()
+        parent = int(ev.get("args", {}).get("parent", -1))
+        while parent >= 0 and parent in by_id and parent not in seen:
+            seen.add(parent)
+            ev = by_id[parent]
+            yield ev
+            parent = int(ev.get("args", {}).get("parent", -1))
+
+    for outer, inner in args.contains or []:
+        if not any(ev.get("name") == inner and
+                   any(a.get("name") == outer for a in ancestors(ev))
+                   for ev in events):
+            errors.append(
+                f"{args.file}: no {inner!r} span nested under {outer!r}")
+    if errors:
+        return fail(errors)
+    print(f"check_metrics: {args.file}: {len(events)} spans, "
+          f"{len(names)} distinct names ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p = sub.add_parser("prom", help="validate a Prometheus exposition")
+    p.add_argument("file")
+    p.add_argument("--require", action="append", default=[],
+                   metavar="FAMILY")
+    p.add_argument("--monotonic-since", metavar="EARLIER_FILE")
+    p.set_defaults(func=cmd_prom)
+    t = sub.add_parser("trace", help="validate a trace-event JSON")
+    t.add_argument("file")
+    t.add_argument("--require", action="append", default=[], metavar="NAME")
+    t.add_argument("--contains", action="append", nargs=2, default=[],
+                   metavar=("OUTER", "INNER"))
+    t.set_defaults(func=cmd_trace)
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

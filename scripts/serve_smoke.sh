@@ -49,4 +49,27 @@ fi
 python3 scripts/validate_serve_output.py --allow-failures "$TMP/bad.json" \
   "$TMP/out-bad.jsonl"
 
+# 4. Observability surface: one batch -> Prometheus exposition + Perfetto
+# trace; the same batch twice (--repeat 2) -> every integer event counter
+# at least doubles, i.e. is monotonic in served work. The payload lines of
+# the instrumented run must still match run 1 bit for bit.
+"$SERVE" --quiet --threads 2 --metrics-out "$TMP/m1.prom" \
+  --trace-out "$TMP/t1.json" "$TMP/batch.json" > "$TMP/out-obs.jsonl"
+python3 scripts/validate_serve_output.py --expect-match "$TMP/out.jsonl" \
+  "$TMP/batch.json" "$TMP/out-obs.jsonl"
+"$SERVE" --quiet --threads 2 --repeat 2 --metrics-out "$TMP/m2.prom" \
+  "$TMP/batch.json" > /dev/null
+python3 scripts/check_metrics.py prom "$TMP/m1.prom" \
+  --require serve_requests_total \
+  --require serve_latency_ns \
+  --require grid_cell_visits_total \
+  --require grid_kernel_cells_total \
+  --require grid_round_residual
+python3 scripts/check_metrics.py prom "$TMP/m2.prom" \
+  --monotonic-since "$TMP/m1.prom"
+python3 scripts/check_metrics.py trace "$TMP/t1.json" \
+  --require serve.request --require grid.run \
+  --contains serve.request grid.run \
+  --contains grid.run grid.update
+
 echo "serve smoke passed"

@@ -48,8 +48,11 @@
 #include "net/async_radio.hpp"
 #include "net/comm_stats.hpp"
 #include "net/summary_channel.hpp"
+#include "obs/histogram.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "prior/prior.hpp"

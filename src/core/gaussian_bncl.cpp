@@ -28,6 +28,7 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
   const bool tracing = obs::trace_active();
   if (tracing) obs::trace_begin(name());
   obs::count("gauss.runs");
+  const obs::Span run_span("gauss.run");
 
   // Anchor vetting: a flagged anchor keeps its reported mean but gets a
   // radio-range-wide covariance and is re-estimated like an unknown, so its
@@ -271,6 +272,8 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
     const double mean_motion =
         unknowns ? sum_motion / static_cast<double>(unknowns) : 0.0;
     result.change_per_iteration.push_back(mean_motion);
+    // Fixed-point 1e-9 of the serially-folded residual: thread-invariant.
+    obs::observe_scaled("gauss.round.residual", mean_motion, 1e9);
     if (tracing) {
       traced_estimates.assign(n, std::nullopt);
       for (std::size_t i = 0; i < n; ++i)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <optional>
 
 #include "fault/anchor_vetting.hpp"
@@ -110,6 +111,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   const bool tracing = obs::trace_active();
   if (tracing) obs::trace_begin(name());
   obs::count("grid.runs");
+  const obs::Span run_span("grid.run");
   obs::PhaseTimer setup_timer("grid.setup");
 
   // --- Robustness preamble ------------------------------------------------
@@ -255,6 +257,11 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   // loop takes no telemetry lock.
   std::vector<std::uint32_t> node_msgs_computed(n, 0), node_msgs_reused(n, 0);
   std::vector<std::uint32_t> node_prods_reused(n, 0);
+  // Work accounting (ROADMAP item 1's gate currency), same pattern: each
+  // dense belief op over a node's ROI charges one visit per cell touched;
+  // each computed message charges summary-cells × kernel stamps. Plain
+  // per-node accumulation — deterministic at any thread count.
+  std::vector<std::uint64_t> node_cell_visits(n, 0), node_kernel_cells(n, 0);
   // Nodes whose update was held this round by the partial-neighborhood
   // quorum gate (telemetry; written per node in the parallel sweep, summed
   // serially).
@@ -287,11 +294,19 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   std::size_t iter = 0;         // global round counter, spans all levels
   GridShape prev_shape{};       // the level we are upsampling from
   for (std::size_t lvl = 0; lvl < n_levels; ++lvl) {
+    const obs::Span level_span("grid.level");
     const GridShape shape{scenario.field, plan.sides[lvl]};
     const std::size_t side = shape.side;
     const std::size_t cells = shape.cell_count();
     cur_shape = shape;
     const bool finest = lvl + 1 == n_levels;
+    // Per-level metric names ("grid.pyramid.l0.…"): pyramid depth is
+    // bounded, so the name set stays tiny and fixed per config.
+    char lvl_roi_name[48], lvl_visits_name[48];
+    std::snprintf(lvl_roi_name, sizeof lvl_roi_name,
+                  "grid.pyramid.l%zu.roi_cells", lvl);
+    std::snprintf(lvl_visits_name, sizeof lvl_visits_name,
+                  "grid.pyramid.l%zu.cell_visits", lvl);
 
     // --- Belief state at this level ---------------------------------------
     // Flat SoA arenas: node i's mass is a contiguous slice of one buffer per
@@ -377,6 +392,16 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         });
       belief_opt.emplace(std::move(next_belief));
       last_pub_opt.emplace(std::move(next_last_pub));
+    }
+    {
+      // The level's dense footprint: total ROI cells across the nodes that
+      // actually update — the "pyramid cells per level" the P2 gate reads.
+      std::uint64_t roi_cells = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        if (!acts_anchor[i])
+          roi_cells += static_cast<std::uint64_t>(roi[i].cell_count());
+      obs::count(lvl_roi_name, roi_cells);
+      obs::count("grid.pyramid.roi_cells", roi_cells);
     }
     BeliefStore& belief = *belief_opt;
     BeliefStore& last_pub_dense = *last_pub_opt;
@@ -630,32 +655,36 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         beliefops::copy_in(belief[u], last_pub_dense[u], side, roi[u]);
         will_publish[u] = 1;
       };
-      if (pool) {
-        parallel_for_chunks(*pool, n, [&](std::size_t begin, std::size_t end) {
-          std::vector<std::uint32_t> oscratch;
-          for (std::size_t u = begin; u < end; ++u)
-            decide_publish(u, oscratch);
-        });
-      } else {
-        for (std::size_t u = 0; u < n; ++u) decide_publish(u, order_scratch);
-      }
-      // Pass 2 (serial, node order): version numbers and metered traffic
-      // are order-sensitive, so they commit in node order regardless of how
-      // pass 1 was scheduled.
-      for (std::size_t u = 0; u < n; ++u) {
-        if (!will_publish[u]) continue;
-        const std::uint64_t ver = ++pub_seq;
-        prev_pub[u] = ever_published[u] ? std::move(cur_pub[u])
-                                        : pub_candidate[u];
-        prev_ver[u] = ever_published[u] ? cur_ver[u] : ver;
-        cur_pub[u] = std::move(pub_candidate[u]);
-        cur_ver[u] = ver;
-        ever_published[u] = 1;
-        if (async) {
-          channel->publish(u, ver, cur_pub[u], cur_pub[u].payload_bytes());
-          if (heartbeat > 0) last_pub_round[u] = iter + 1;
+      {
+        const obs::Span publish_span("grid.publish");
+        if (pool) {
+          parallel_for_chunks(*pool, n,
+                              [&](std::size_t begin, std::size_t end) {
+                                std::vector<std::uint32_t> oscratch;
+                                for (std::size_t u = begin; u < end; ++u)
+                                  decide_publish(u, oscratch);
+                              });
         } else {
-          sync_radio->record_broadcast(u, cur_pub[u].payload_bytes());
+          for (std::size_t u = 0; u < n; ++u) decide_publish(u, order_scratch);
+        }
+        // Pass 2 (serial, node order): version numbers and metered traffic
+        // are order-sensitive, so they commit in node order regardless of how
+        // pass 1 was scheduled.
+        for (std::size_t u = 0; u < n; ++u) {
+          if (!will_publish[u]) continue;
+          const std::uint64_t ver = ++pub_seq;
+          prev_pub[u] = ever_published[u] ? std::move(cur_pub[u])
+                                          : pub_candidate[u];
+          prev_ver[u] = ever_published[u] ? cur_ver[u] : ver;
+          cur_pub[u] = std::move(pub_candidate[u]);
+          cur_ver[u] = ver;
+          ever_published[u] = 1;
+          if (async) {
+            channel->publish(u, ver, cur_pub[u], cur_pub[u].payload_bytes());
+            if (heartbeat > 0) last_pub_round[u] = iter + 1;
+          } else {
+            sync_radio->record_broadcast(u, cur_pub[u].payload_bytes());
+          }
         }
       }
 
@@ -688,6 +717,8 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         const std::span<double> next = staged[i];
         const auto nbs = scenario.graph.neighbors(i);
         const CellBox& box = roi[i];
+        const std::uint64_t box_cells =
+            static_cast<std::uint64_t>(box.cell_count());
         const std::size_t ttl = config_.robustness.stale_ttl;
 
         // Is the slot's summary usable this round, and under which version?
@@ -804,6 +835,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         }
         if (static_inputs) {
           ++node_prods_reused[i];
+          node_cell_visits[i] += 3 * box_cells;  // replay + mix + residual
           beliefops::copy_in((*product)[i], next, side, box);
           beliefops::mix_in(next, belief[i], config_.damping, side, box);
           node_change[i] =
@@ -813,6 +845,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         }
 
         beliefops::copy_in(prior_grid[i], next, side, box);
+        node_cell_visits[i] += box_cells;  // prior copy
         for (std::size_t k = 0; k < nbs.size(); ++k) {
           const std::size_t slot = kernel_offset[i] + k;
           // Sync TTL bookkeeping (idempotent with the prepass): a slot
@@ -828,27 +861,37 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
             const std::span<double> cached = (*msg_store)[slot];
             if (msg_ver[slot] == ver) {
               ++node_msgs_reused[i];
-              if (!msg_skip[slot])
+              if (!msg_skip[slot]) {
+                node_cell_visits[i] += box_cells;
                 beliefops::multiply_in(next, cached, config_.message_floor,
                                        side, box);
+              }
               continue;
             }
             const double peak =
                 link_kernel[slot]->correlate(src, cached, side, &box);
             msg_ver[slot] = ver;
             ++node_msgs_computed[i];
+            node_kernel_cells[i] +=
+                static_cast<std::uint64_t>(src.cells.size()) *
+                link_kernel[slot]->stamp_count();
             if (peak <= 0.0) {
               msg_skip[slot] = 1;
               continue;
             }
             msg_skip[slot] = 0;
+            node_cell_visits[i] += box_cells;
             beliefops::multiply_in(next, cached, config_.message_floor, side,
                                    box);
           } else {
             const double peak =
                 link_kernel[slot]->correlate(src, scratch, side, &box);
             ++node_msgs_computed[i];
+            node_kernel_cells[i] +=
+                static_cast<std::uint64_t>(src.cells.size()) *
+                link_kernel[slot]->stamp_count();
             if (peak <= 0.0) continue;
+            node_cell_visits[i] += box_cells;
             beliefops::multiply_in(next, scratch, config_.message_floor, side,
                                    box);
           }
@@ -870,6 +913,7 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
               const std::span<double> cached = (*msg_store)[slot];
               if (msg_ver[slot] == cur_ver[far]) {
                 ++node_msgs_reused[i];
+                node_cell_visits[i] += box_cells;
                 beliefops::multiply_in(next, cached, config_.message_floor,
                                        side, box);
                 continue;
@@ -879,6 +923,10 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
               neg_transform(cached, box);
               msg_ver[slot] = cur_ver[far];
               ++node_msgs_computed[i];
+              node_kernel_cells[i] +=
+                  static_cast<std::uint64_t>(src.cells.size()) *
+                  conn_kernel.stamp_count();
+              node_cell_visits[i] += box_cells;
               beliefops::multiply_in(next, cached, config_.message_floor,
                                      side, box);
             } else {
@@ -886,6 +934,10 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
               conn_kernel.accumulate(src, scratch, side, &box);
               neg_transform(scratch, box);
               ++node_msgs_computed[i];
+              node_kernel_cells[i] +=
+                  static_cast<std::uint64_t>(src.cells.size()) *
+                  conn_kernel.stamp_count();
+              node_cell_visits[i] += box_cells;
               beliefops::multiply_in(next, scratch, config_.message_floor,
                                      side, box);
             }
@@ -895,10 +947,12 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           // pre-damping: replayable as-is
           beliefops::copy_in(next, (*product)[i], side, box);
           have_product[i] = 1;
+          node_cell_visits[i] += box_cells;
         }
         beliefops::mix_in(next, belief[i], config_.damping, side, box);
         node_change[i] =
             beliefops::total_variation_in(next, belief[i], side, box);
+        node_cell_visits[i] += 2 * box_cells;  // mix + residual
         if (gauss_seidel) commit_gs(i, next);
       };
 
@@ -906,20 +960,30 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       std::fill(node_msgs_computed.begin(), node_msgs_computed.end(), 0U);
       std::fill(node_msgs_reused.begin(), node_msgs_reused.end(), 0U);
       std::fill(node_prods_reused.begin(), node_prods_reused.end(), 0U);
+      std::fill(node_cell_visits.begin(), node_cell_visits.end(),
+                std::uint64_t{0});
+      std::fill(node_kernel_cells.begin(), node_kernel_cells.end(),
+                std::uint64_t{0});
       std::fill(node_quorum_held.begin(), node_quorum_held.end(),
                 static_cast<unsigned char>(0));
-      if (pool && !gauss_seidel) {
-        parallel_for_chunks(*pool, n, [&](std::size_t begin, std::size_t end) {
-          std::vector<double> scratch(cells);
-          for (std::size_t i = begin; i < end; ++i) update_node(i, scratch);
-        });
-      } else {
-        for (std::size_t i = 0; i < n; ++i) update_node(i, msg);
+      {
+        const obs::Span update_span("grid.update");
+        if (pool && !gauss_seidel) {
+          parallel_for_chunks(*pool, n,
+                              [&](std::size_t begin, std::size_t end) {
+                                std::vector<double> scratch(cells);
+                                for (std::size_t i = begin; i < end; ++i)
+                                  update_node(i, scratch);
+                              });
+        } else {
+          for (std::size_t i = 0; i < n; ++i) update_node(i, msg);
+        }
       }
 
       double sum_change = 0.0;
       std::size_t changed_nodes = 0;
       std::uint64_t msgs_computed = 0, msgs_reused = 0, prods_reused = 0;
+      std::uint64_t cell_visits = 0, kernel_cells = 0;
       std::size_t quorum_held = 0;
       for (std::size_t i = 0; i < n; ++i) {
         if (node_change[i] >= 0.0) {
@@ -929,13 +993,19 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         msgs_computed += node_msgs_computed[i];
         msgs_reused += node_msgs_reused[i];
         prods_reused += node_prods_reused[i];
+        cell_visits += node_cell_visits[i];
+        kernel_cells += node_kernel_cells[i];
         quorum_held += node_quorum_held[i];
       }
       obs::count("grid.messages.computed", msgs_computed);
       obs::count("grid.messages.reused", msgs_reused);
       obs::count("grid.products.reused", prods_reused);
+      obs::count("grid.cell_visits", cell_visits);
+      obs::count("grid.kernel_cells", kernel_cells);
+      obs::count(lvl_visits_name, cell_visits);
       if (quorum_held) obs::count("grid.quorum_holds", quorum_held);
       if (!gauss_seidel) {
+        const obs::Span commit_span("grid.commit");
         const auto commit_chunk = [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i)
             if (!acts_anchor[i] && !radio_crashed(i) && !node_quorum_held[i])
@@ -951,6 +1021,10 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           changed_nodes ? sum_change / static_cast<double>(changed_nodes)
                         : 0.0;
       result.change_per_iteration.push_back(mean_change);
+      // Residual distribution across rounds, fixed-point at 1e-9 TV units.
+      // The residual is folded serially in node order above, so the observed
+      // value — hence the bucket — is identical at any thread count.
+      obs::observe_scaled("grid.round.residual", mean_change, 1e9);
       if (config_.observer) {
         emit_estimates();
         config_.observer(iter + 1, result.estimates);

@@ -42,6 +42,7 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   const bool tracing = obs::trace_active();
   if (tracing) obs::trace_begin(name());
   obs::count("particle.runs");
+  const obs::Span run_span("particle.run");
   obs::PhaseTimer setup_timer("particle.setup");
 
   // Anchor vetting: flagged anchors trade their delta cloud for a
@@ -325,6 +326,8 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     const double avg_motion =
         unknowns ? mean_motion / static_cast<double>(unknowns) : 0.0;
     result.change_per_iteration.push_back(avg_motion);
+    // Fixed-point 1e-9 of the serially-folded residual: thread-invariant.
+    obs::observe_scaled("particle.round.residual", avg_motion, 1e9);
     if (tracing) {
       // prev_mean[i] holds the committed round mean for every non-anchor
       // (crashed nodes keep their last alive mean, same as the final output).

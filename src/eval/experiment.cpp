@@ -70,8 +70,10 @@ AggregateRow run_algorithm(const Localizer& algo, const ScenarioConfig& base,
   if (telemetry) {
     telemetry->trials.clear();
     telemetry->trials.resize(trials);
-    for (obs::Telemetry& sink : telemetry->trials)
+    for (obs::Telemetry& sink : telemetry->trials) {
       sink.trace_enabled = telemetry->trace_trials;
+      sink.spans_enabled = telemetry->span_trials;
+    }
   }
   obs::Telemetry* ambient = obs::current();
 
@@ -130,8 +132,13 @@ AggregateRow run_algorithm(const Localizer& algo, const ScenarioConfig& base,
   // Fold per-trial telemetry in trial order, mirroring the outcome fold:
   // counter sums are identical at any thread count.
   if (telemetry) {
-    for (const obs::Telemetry& sink : telemetry->trials)
+    std::uint32_t track = 0;
+    for (const obs::Telemetry& sink : telemetry->trials) {
       telemetry->aggregate.registry.merge(sink.registry);
+      if (!sink.spans.empty())
+        telemetry->aggregate.spans.merge(sink.spans, track);
+      ++track;
+    }
     telemetry->aggregate.registry.count("harness.trials", trials);
   }
 

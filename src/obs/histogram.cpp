@@ -1,0 +1,73 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace bnloc::obs {
+
+namespace {
+constexpr std::uint64_t kSub = std::uint64_t{1} << LogHistogram::kSubBits;
+}  // namespace
+
+std::uint32_t LogHistogram::bucket_index(std::uint64_t value) noexcept {
+  // Values below 2^(kSubBits+1) get a bucket each (exact); above that the
+  // top kSubBits bits after the leading one select the sub-bucket.
+  if (value < 2 * kSub) return static_cast<std::uint32_t>(value);
+  const unsigned exp = static_cast<unsigned>(std::bit_width(value)) - 1;
+  const unsigned shift = exp - kSubBits;
+  const std::uint64_t mantissa = (value >> shift) - kSub;  // 0 .. kSub-1
+  return static_cast<std::uint32_t>(((shift + 1) << kSubBits) + mantissa);
+}
+
+std::uint64_t LogHistogram::bucket_lower(std::uint32_t index) noexcept {
+  if (index < 2 * kSub) return index;
+  const unsigned shift = (index >> kSubBits) - 1;
+  const std::uint64_t mantissa = index & (kSub - 1);
+  return (kSub + mantissa) << shift;
+}
+
+std::uint64_t LogHistogram::bucket_upper(std::uint32_t index) noexcept {
+  if (index + 1 < 2 * kSub) return index;
+  return bucket_lower(index + 1) - 1;
+}
+
+void LogHistogram::observe(std::uint64_t value) {
+  const std::uint32_t i = bucket_index(value);
+  if (i >= buckets_.size()) buckets_.resize(i + 1, 0);
+  ++buckets_[i];
+  ++count_;
+  sum_ += value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (&other == this || other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) return bucket_upper(static_cast<std::uint32_t>(i));
+  }
+  return bucket_upper(static_cast<std::uint32_t>(buckets_.size() - 1));
+}
+
+void LogHistogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace bnloc::obs

@@ -1,0 +1,66 @@
+// Deterministic log-bucketed histogram (integer buckets, exact merge).
+//
+// The registry's counters fold exactly because integer addition commutes;
+// LogHistogram extends that property to *distributions*. Observations are
+// unsigned integers (nanoseconds, scaled residuals, cell counts) sorted into
+// log-linear buckets: each power-of-two octave is split into 2^kSubBits
+// linear sub-buckets, so the bucket edges are fixed integers independent of
+// the data, and merging two histograms is element-wise u64 addition — the
+// folded histogram is bit-identical regardless of which thread observed
+// which value (same contract as Registry counters, docs/OBSERVABILITY.md).
+//
+// With kSubBits = 3 a bucket's width is at most 1/8 of its lower edge
+// (≤ 12.5% relative quantization error), values below 16 are exact, and the
+// full u64 range needs at most 496 buckets. Quantiles are reported as the
+// inclusive upper edge of the bucket holding the target rank — a
+// deterministic, conservative (never under-reported) estimate.
+//
+// Not internally locked: a LogHistogram inside a Registry is guarded by the
+// registry mutex; standalone use follows the one-writer-per-trial model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bnloc::obs {
+
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits linear buckets per octave.
+  static constexpr unsigned kSubBits = 3;
+
+  void observe(std::uint64_t value);
+  /// Element-wise bucket addition — exact, commutative, associative.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  /// Sum of raw observed values (not bucket midpoints) — exact u64 wraparound
+  /// semantics, same as a counter.
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Inclusive upper edge of the bucket containing the q-quantile
+  /// (rank ceil(q*count), q clamped to [0,1]). 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const;
+
+  /// Bucket occupancy, index 0 .. highest non-empty bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  void clear();
+
+  // --- Fixed bucket geometry (pure functions of the index) ----------------
+  [[nodiscard]] static std::uint32_t bucket_index(std::uint64_t value) noexcept;
+  /// Smallest value mapping to bucket i.
+  [[nodiscard]] static std::uint64_t bucket_lower(std::uint32_t index) noexcept;
+  /// Largest value mapping to bucket i (inclusive).
+  [[nodiscard]] static std::uint64_t bucket_upper(std::uint32_t index) noexcept;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  ///< grown lazily, never shrunk.
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace bnloc::obs

@@ -1,0 +1,51 @@
+// Prometheus text-format exposition of a metrics Registry.
+//
+// The registry's snapshot is already name-sorted and exact; this writer maps
+// it onto the Prometheus exposition format (version 0.0.4) so a fleet
+// deployment can scrape the same registry the benches fold:
+//
+//  * counter    -> `<family>_total <v>`
+//  * gauge      -> `<family> <v>`
+//  * timer      -> `<family>_seconds_total <s>` + `<family>_calls_total <n>`
+//  * histogram  -> cumulative `<family>_bucket{le="..."}` series plus
+//                  `<family>_sum` / `<family>_count` (log-bucket upper edges
+//                  from obs::LogHistogram; `le="+Inf"` closes the series)
+//
+// Metric names here use dots ("grid.messages.computed"); the writer maps
+// every character outside [a-zA-Z0-9_:] to '_'. Labels ride inside the
+// registry name itself: obs::labeled("serve.latency_ns", {{"tenant", id}})
+// produces `serve.latency_ns{tenant="id"}`, which the writer splits back
+// into family + label set (label values escaped per the exposition rules:
+// backslash, double-quote, newline). Keeping labels in the name means the
+// Registry needs no schema change and label sets fold exactly like any
+// other metric.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace bnloc::obs {
+
+/// Escape a label value per the exposition format: \ -> \\, " -> \", and
+/// newline -> \n.
+[[nodiscard]] std::string prometheus_escape(std::string_view value);
+
+/// Build a labeled metric name: `family{k1="v1",k2="v2"}`. Values are
+/// escaped; keys are used verbatim (callers pass identifier-like keys).
+[[nodiscard]] std::string labeled(
+    std::string_view family,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Render the whole registry as exposition text (ends with a newline when
+/// non-empty). Deterministic: snapshot order is name-sorted.
+[[nodiscard]] std::string prometheus_text(const Registry& registry);
+
+/// prometheus_text written to `path`; false when the file cannot be written.
+bool export_prometheus(const std::string& path, const Registry& registry);
+
+}  // namespace bnloc::obs

@@ -11,6 +11,7 @@ const char* to_string(MetricKind kind) noexcept {
     case MetricKind::counter: return "counter";
     case MetricKind::gauge: return "gauge";
     case MetricKind::timer: return "timer";
+    case MetricKind::histogram: return "histogram";
   }
   return "?";
 }
@@ -54,6 +55,14 @@ void Registry::time_ns(std::string_view name, std::uint64_t ns) {
   ++s.count;
 }
 
+void Registry::observe(std::string_view name, std::uint64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Slot& s = slot(name, MetricKind::histogram);
+  if (!s.hist) s.hist = std::make_unique<LogHistogram>();
+  s.hist->observe(value);
+  ++s.count;
+}
+
 void Registry::merge(const Registry& other) {
   if (&other == this) return;
   const std::scoped_lock lock(mutex_, other.mutex_);
@@ -72,6 +81,13 @@ void Registry::merge(const Registry& other) {
         dst.ticks_ns += src.ticks_ns;
         dst.count += src.count;
         break;
+      case MetricKind::histogram:
+        if (src.hist) {
+          if (!dst.hist) dst.hist = std::make_unique<LogHistogram>();
+          dst.hist->merge(*src.hist);
+        }
+        dst.count += src.count;
+        break;
     }
   }
 }
@@ -88,6 +104,10 @@ std::vector<MetricEntry> Registry::snapshot() const {
     e.value = slots_[i].kind == MetricKind::timer
                   ? static_cast<double>(slots_[i].ticks_ns) * 1e-9
                   : slots_[i].value;
+    if (slots_[i].kind == MetricKind::histogram && slots_[i].hist) {
+      e.hist_sum = slots_[i].hist->sum();
+      e.buckets = slots_[i].hist->buckets();
+    }
     out.push_back(std::move(e));
   }
   std::sort(out.begin(), out.end(),
@@ -119,6 +139,25 @@ std::uint64_t Registry::timer_calls(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const Slot* s = find(name);
   return s ? s->count : 0;
+}
+
+std::uint64_t Registry::histogram_count(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Slot* s = find(name);
+  return s && s->hist ? s->hist->count() : 0;
+}
+
+std::uint64_t Registry::histogram_sum(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Slot* s = find(name);
+  return s && s->hist ? s->hist->sum() : 0;
+}
+
+std::uint64_t Registry::histogram_quantile(std::string_view name,
+                                           double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Slot* s = find(name);
+  return s && s->hist ? s->hist->quantile(q) : 0;
 }
 
 bool Registry::empty() const {

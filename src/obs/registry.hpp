@@ -14,6 +14,11 @@
 //    Durations are stored as integer nanoseconds so folding is exact and
 //    order-independent; the *values* are wall-clock and therefore outside
 //    the determinism contract (only their presence is reproducible).
+//  * histogram — a log-bucketed distribution of u64 observations
+//    (obs/histogram.hpp). Buckets are integers with fixed edges, so merging
+//    is element-wise addition and folds exactly like counters. Whether the
+//    *observed values* are deterministic depends on the site: scaled
+//    residuals are, request latencies are wall-clock.
 //
 // Accumulation model: the Monte-Carlo harness hands every trial its own
 // Telemetry (and thus its own Registry), so during a run each registry is
@@ -25,24 +30,32 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace bnloc::obs {
 
-enum class MetricKind { counter, gauge, timer };
+enum class MetricKind { counter, gauge, timer, histogram };
 
 /// One metric in a registry snapshot.
 struct MetricEntry {
   std::string name;
   MetricKind kind = MetricKind::counter;
-  /// counter value / number of gauge writes / timer call count.
+  /// counter value / number of gauge writes / timer call count / histogram
+  /// observation count.
   std::uint64_t count = 0;
   /// gauge value (last write) / timer total seconds; 0 for counters.
   double value = 0.0;
+  /// Histograms only: exact sum of observations and bucket occupancy
+  /// (obs::LogHistogram geometry); empty for the other kinds.
+  std::uint64_t hist_sum = 0;
+  std::vector<std::uint64_t> buckets;
 };
 
 [[nodiscard]] const char* to_string(MetricKind kind) noexcept;
@@ -56,6 +69,8 @@ class Registry {
   void count(std::string_view name, std::uint64_t delta = 1);
   void gauge(std::string_view name, double value);
   void time_ns(std::string_view name, std::uint64_t ns);
+  /// Record one u64 observation into the named log-bucket histogram.
+  void observe(std::string_view name, std::uint64_t value);
 
   /// Fold `other` into this registry: counters and timers add, gauges take
   /// `other`'s value when it ever wrote one. Deterministic given call order
@@ -69,6 +84,11 @@ class Registry {
   [[nodiscard]] double gauge_value(std::string_view name) const;
   [[nodiscard]] double timer_seconds(std::string_view name) const;
   [[nodiscard]] std::uint64_t timer_calls(std::string_view name) const;
+  [[nodiscard]] std::uint64_t histogram_count(std::string_view name) const;
+  [[nodiscard]] std::uint64_t histogram_sum(std::string_view name) const;
+  /// Bucket-upper-edge quantile of the named histogram; 0 when absent/empty.
+  [[nodiscard]] std::uint64_t histogram_quantile(std::string_view name,
+                                                 double q) const;
   [[nodiscard]] bool empty() const;
   void clear();
 
@@ -78,6 +98,8 @@ class Registry {
     std::uint64_t count = 0;
     std::uint64_t ticks_ns = 0;  ///< timers: exact integer accumulation.
     double value = 0.0;          ///< gauges only.
+    /// Histograms only (pointer keeps Slot small for the common kinds).
+    std::unique_ptr<LogHistogram> hist;
   };
 
   /// Find-or-create; caller must hold mutex_.

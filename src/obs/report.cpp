@@ -106,7 +106,22 @@ bool export_run_report_json(const std::string& path,
     w.kv("name", m.name);
     w.kv("kind", to_string(m.kind));
     w.kv("count", m.count);
-    if (m.kind != MetricKind::counter) w.kv("value", m.value);
+    if (m.kind == MetricKind::gauge || m.kind == MetricKind::timer)
+      w.kv("value", m.value);
+    if (m.kind == MetricKind::histogram) {
+      w.kv("sum", m.hist_sum);
+      // Sparse bucket pairs [index, count] — the edges are fixed
+      // (obs::LogHistogram geometry), so indices alone reconstruct them.
+      w.key("buckets").begin_array();
+      for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+        if (m.buckets[b] == 0) continue;
+        w.begin_array();
+        w.value(static_cast<std::uint64_t>(b));
+        w.value(m.buckets[b]);
+        w.end_array();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();

@@ -23,10 +23,12 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace bnloc::obs {
@@ -34,9 +36,14 @@ namespace bnloc::obs {
 struct Telemetry {
   Registry registry;
   ConvergenceTrace trace;
+  SpanStore spans;
   /// When false the sink captures counters/timers only: engines skip the
   /// per-round estimate emission that feeds the trace.
   bool trace_enabled = true;
+  /// Opt-in: obs::Span records per-instance phase timings into `spans`.
+  /// Off by default — each span allocates a record, and the Monte-Carlo
+  /// harness doesn't want thousands of them per trial.
+  bool spans_enabled = false;
 };
 
 /// The sink installed on this thread, or nullptr.
@@ -64,6 +71,10 @@ struct RunTelemetry {
   /// Applied to every per-trial sink: false turns off per-round traces
   /// (cheaper) while still collecting counters and phase timers.
   bool trace_trials = true;
+  /// Applied to every per-trial sink: true records obs::Span phase spans.
+  /// Per-trial stores are folded into `aggregate.spans` in trial order with
+  /// the trial index as the track.
+  bool span_trials = false;
   Telemetry aggregate;
   /// deque, not vector: Telemetry holds mutexes and is neither movable nor
   /// copyable, and deque::resize constructs elements in place.
@@ -72,12 +83,29 @@ struct RunTelemetry {
 
 // --- Instrumentation sites (no-ops without an installed sink) -------------
 
-inline void count(const char* name, std::uint64_t delta = 1) {
+inline void count(std::string_view name, std::uint64_t delta = 1) {
   if (Telemetry* t = current()) t->registry.count(name, delta);
 }
 
-inline void gauge(const char* name, double value) {
+inline void gauge(std::string_view name, double value) {
   if (Telemetry* t = current()) t->registry.gauge(name, value);
+}
+
+/// Record one u64 observation into the named log-bucket histogram.
+inline void observe(std::string_view name, std::uint64_t value) {
+  if (Telemetry* t = current()) t->registry.observe(name, value);
+}
+
+/// Histogram a non-negative double by fixed-point scaling (llround — a pure
+/// function, so the bucketed value is as deterministic as the input).
+/// E.g. observe_scaled("grid.round.residual", residual, 1e9).
+inline void observe_scaled(std::string_view name, double value,
+                           double scale) {
+  if (Telemetry* t = current()) {
+    const double scaled = value * scale;
+    t->registry.observe(
+        name, scaled <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(scaled)));
+  }
 }
 
 /// Scoped wall-clock timer for a named phase. Records on stop() or

@@ -10,6 +10,7 @@
 #include "deploy/scenario.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/telemetry.hpp"
 #include "support/timer.hpp"
 
@@ -122,7 +123,10 @@ std::vector<ServeResponse> BatchService::run_batch(
   std::deque<obs::Telemetry> telemetries;
   if (config_.collect_metrics) {
     telemetries.resize(n);
-    for (obs::Telemetry& t : telemetries) t.trace_enabled = false;
+    for (obs::Telemetry& t : telemetries) {
+      t.trace_enabled = false;
+      t.spans_enabled = config_.collect_spans;
+    }
   }
 
   // In-order prefix streaming: whichever worker completes request i marks
@@ -144,6 +148,19 @@ std::vector<ServeResponse> BatchService::run_batch(
       last_.failed += 1;
     }
     tenant.stats.total_seconds += response.seconds;
+    // Latency histograms (tenant-local and labeled registry family). The
+    // emitter runs serially in request order under the emit lock, so the
+    // observation order — though not the wall-clock values — is
+    // deterministic at any thread count.
+    const double lat_ns_f = response.seconds * 1e9;
+    const std::uint64_t lat_ns =
+        lat_ns_f <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(std::llround(lat_ns_f));
+    tenant.latency_ns.observe(lat_ns);
+    metrics_.observe("serve.latency_ns", lat_ns);
+    metrics_.observe(
+        obs::labeled("serve.latency_ns", {{"tenant", response.tenant}}),
+        lat_ns);
     tenant.batch_result_bytes += result_footprint(response);
     tenant.stats.result_bytes_peak =
         std::max(tenant.stats.result_bytes_peak, tenant.batch_result_bytes);
@@ -159,6 +176,7 @@ std::vector<ServeResponse> BatchService::run_batch(
     {
       std::optional<obs::TelemetryScope> scope;
       if (config_.collect_metrics) scope.emplace(&telemetries[i]);
+      const obs::Span request_span("serve.request");
       responses[i] = serve_one(requests[i]);
     }
     last_.latencies[i] = responses[i].seconds;
@@ -171,8 +189,15 @@ std::vector<ServeResponse> BatchService::run_batch(
 
   // Per-request registries fold in request order — the same discipline the
   // Monte-Carlo harness uses to keep folded counters thread-count
-  // invariant.
-  for (const obs::Telemetry& t : telemetries) metrics_.merge(t.registry);
+  // invariant. Spans land on one track per request (batch order).
+  {
+    std::uint32_t track = 1;
+    for (const obs::Telemetry& t : telemetries) {
+      metrics_.merge(t.registry);
+      if (!t.spans.empty()) spans_.merge(t.spans, track);
+      ++track;
+    }
+  }
   metrics_.count("serve.batches", 1);
   metrics_.count("serve.requests", n);
   metrics_.count("serve.failed", last_.failed);
@@ -194,6 +219,12 @@ std::vector<TenantStats> BatchService::tenants() const {
   for (const auto& [name, tenant] : tenants_) {
     TenantStats stats = tenant->stats;
     stats.tenant = name;
+    stats.latency_p50 =
+        static_cast<double>(tenant->latency_ns.quantile(0.50)) * 1e-9;
+    stats.latency_p95 =
+        static_cast<double>(tenant->latency_ns.quantile(0.95)) * 1e-9;
+    stats.latency_p99 =
+        static_cast<double>(tenant->latency_ns.quantile(0.99)) * 1e-9;
     out.push_back(std::move(stats));
   }
   return out;

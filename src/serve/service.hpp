@@ -34,7 +34,9 @@
 #include <vector>
 
 #include "inference/kernel_cache.hpp"
+#include "obs/histogram.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "serve/arena.hpp"
 #include "serve/json_io.hpp"
 #include "serve/request.hpp"
@@ -63,6 +65,12 @@ struct ServeConfig {
   /// so the folded registry is deterministic). Costs one registry per
   /// in-flight request; off leaves engine instrumentation on the null sink.
   bool collect_metrics = true;
+  /// Record hierarchical phase spans (serve request → engine run → pyramid
+  /// level → publish/update/commit) into spans(), one track per request.
+  /// Requires collect_metrics; off by default — each span instance
+  /// allocates a record. Results stay bit-identical either way (the spans
+  /// are write-only wall-clock observations).
+  bool collect_spans = false;
   /// Chunk size for the per-tenant arenas.
   std::size_t arena_chunk_kb = 64;
 };
@@ -80,6 +88,13 @@ struct TenantStats {
   /// Estimated peak per-batch footprint of this tenant's decoded results
   /// (estimate/covariance vectors; excludes engine-internal scratch).
   std::size_t result_bytes_peak = 0;
+  /// Request-latency percentiles (seconds) over every request this tenant
+  /// ever ran here, read from the tenant's log-bucket latency histogram —
+  /// conservative bucket-upper-edge estimates (≤ 12.5% quantization), the
+  /// currency ROADMAP item 2's admission control will spend.
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
 };
 
 /// One batch's execution record.
@@ -127,9 +142,16 @@ class BatchService {
   [[nodiscard]] std::vector<TenantStats> tenants() const;
   /// Folded request telemetry (ServeConfig::collect_metrics): engine
   /// counters — `grid.kernels.process.hit/miss` among them — plus the
-  /// service's own `serve.*` counters.
+  /// service's own `serve.*` counters and the per-tenant
+  /// `serve.latency_ns{tenant="…"}` histograms. Exposable via
+  /// obs::export_prometheus (the bnloc_serve --metrics-out path).
   [[nodiscard]] const obs::Registry& metrics() const noexcept {
     return metrics_;
+  }
+  /// Cumulative request spans (ServeConfig::collect_spans), one track per
+  /// request in batch order — feed to obs::export_trace_events_json.
+  [[nodiscard]] const obs::SpanStore& spans() const noexcept {
+    return spans_;
   }
 
   /// Serve one request end to end (decode nothing, stream nothing): what a
@@ -142,6 +164,9 @@ class BatchService {
     TenantStats stats;
     Arena arena;
     std::size_t batch_result_bytes = 0;  ///< running footprint this batch.
+    /// Cumulative request latencies in integer nanoseconds; the percentile
+    /// source for TenantStats (exact merge semantics, wall-clock values).
+    obs::LogHistogram latency_ns;
 
     explicit Tenant(std::size_t chunk_bytes) : arena(chunk_bytes) {}
   };
@@ -155,6 +180,7 @@ class BatchService {
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
   BatchStats last_;
   obs::Registry metrics_;
+  obs::SpanStore spans_;
 };
 
 }  // namespace bnloc::serve

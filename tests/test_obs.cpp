@@ -323,6 +323,86 @@ TEST(RunTelemetry, CountersIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(RunTelemetry, WorkCountersAndHistogramsIdenticalAcrossThreadCounts) {
+  // The tier's work accounting (per-cell visit counters, kernel-cell scans)
+  // and the per-round residual histogram are folded per trial in trial
+  // order, so they must be exactly equal at any thread count — same
+  // contract as the aggregates themselves.
+  const GridBncl engine;
+  const ScenarioConfig cfg = small_config();
+  std::uint64_t serial_visits = 0, serial_kernel = 0;
+  std::uint64_t serial_hist_count = 0, serial_hist_sum = 0;
+  for (std::size_t threads : {1u, 4u}) {
+    obs::RunTelemetry telemetry;
+    RunOptions options;
+    options.threads = threads;
+    options.telemetry = &telemetry;
+    (void)run_algorithm(engine, cfg, 4, options);
+    const obs::Registry& reg = telemetry.aggregate.registry;
+    const std::uint64_t visits = reg.counter("grid.cell_visits");
+    const std::uint64_t kernel = reg.counter("grid.kernel_cells");
+    const std::uint64_t hist_count =
+        reg.histogram_count("grid.round.residual");
+    const std::uint64_t hist_sum = reg.histogram_sum("grid.round.residual");
+    EXPECT_GT(visits, 0u);
+    EXPECT_GT(kernel, 0u);
+    EXPECT_GT(hist_count, 0u);
+    if (threads == 1) {
+      serial_visits = visits;
+      serial_kernel = kernel;
+      serial_hist_count = hist_count;
+      serial_hist_sum = hist_sum;
+    } else {
+      EXPECT_EQ(visits, serial_visits);
+      EXPECT_EQ(kernel, serial_kernel);
+      EXPECT_EQ(hist_count, serial_hist_count);
+      EXPECT_EQ(hist_sum, serial_hist_sum);
+    }
+  }
+}
+
+TEST(RunTelemetry, SpanTrialsCapturesNestedSpansDeterministically) {
+  const GridBncl engine;
+  const ScenarioConfig cfg = small_config();
+
+  // Spans are opt-in: the default fold records none.
+  obs::RunTelemetry off;
+  RunOptions options;
+  options.telemetry = &off;
+  (void)run_algorithm(engine, cfg, 2, options);
+  EXPECT_TRUE(off.aggregate.spans.empty());
+
+  std::size_t serial_spans = 0;
+  for (std::size_t threads : {1u, 4u}) {
+    obs::RunTelemetry telemetry;
+    telemetry.span_trials = true;
+    RunOptions on;
+    on.threads = threads;
+    on.telemetry = &telemetry;
+    (void)run_algorithm(engine, cfg, 2, on);
+    const std::vector<obs::SpanRecord> rows =
+        telemetry.aggregate.spans.rows();
+    ASSERT_FALSE(rows.empty());
+    // Each trial contributes one grid.run root; phase spans nest under it.
+    std::size_t roots = 0;
+    for (const obs::SpanRecord& r : rows) {
+      if (r.parent < 0) {
+        EXPECT_EQ(r.name, "grid.run");
+        ++roots;
+      } else {
+        ASSERT_LT(static_cast<std::size_t>(r.parent), rows.size());
+      }
+    }
+    EXPECT_EQ(roots, 2u);
+    // The span *count* is a pure function of control flow — thread-count
+    // invariant even though the recorded durations are not.
+    if (threads == 1)
+      serial_spans = rows.size();
+    else
+      EXPECT_EQ(rows.size(), serial_spans);
+  }
+}
+
 // --- Exporters ------------------------------------------------------------
 
 std::string slurp(const std::string& path) {

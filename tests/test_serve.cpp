@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/prometheus.hpp"
 #include "serve/arena.hpp"
 #include "serve/json_io.hpp"
 #include "serve/request.hpp"
@@ -386,6 +387,54 @@ TEST(BatchService, TenantStatsAccumulateAcrossBatches) {
   EXPECT_EQ(tenants[1].requests, 1u);
   EXPECT_GT(tenants[0].arena_high_water, 0u);
   EXPECT_GT(tenants[0].result_bytes_peak, 0u);
+}
+
+TEST(BatchService, TenantLatencyPercentilesWithoutPayloadChange) {
+  // The latency histogram rides outside the determinism contract (it holds
+  // wall-clock), but its *presence* — and span collection — must not change
+  // a single payload bit.
+  std::vector<ServeRequest> batch;
+  for (int i = 0; i < 6; ++i)
+    batch.push_back(tiny_request("t", "r" + std::to_string(i),
+                                 static_cast<std::uint64_t>(i + 1)));
+
+  BatchService plain(ServeConfig{.threads = 2});
+  ServeConfig instrumented_cfg{.threads = 2};
+  instrumented_cfg.collect_spans = true;
+  BatchService instrumented(instrumented_cfg);
+  const auto a = plain.run_batch(batch);
+  const auto b = instrumented.run_batch(batch);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_payload_identical(a[i], b[i]);
+
+  for (const BatchService* service : {&plain, &instrumented}) {
+    const auto tenants = service->tenants();
+    ASSERT_EQ(tenants.size(), 1u);
+    EXPECT_GT(tenants[0].latency_p50, 0.0);
+    EXPECT_LE(tenants[0].latency_p50, tenants[0].latency_p95);
+    EXPECT_LE(tenants[0].latency_p95, tenants[0].latency_p99);
+    // Request-latency observations land in the shared registry too, both
+    // bare and per-tenant labeled.
+    EXPECT_EQ(service->metrics().histogram_count("serve.latency_ns"), 6u);
+    EXPECT_EQ(service->metrics().histogram_count(
+                  obs::labeled("serve.latency_ns", {{"tenant", "t"}})),
+              6u);
+  }
+
+  // Spans: opt-in, one serve.request root per request with the engine run
+  // nested under it on the request's own track.
+  EXPECT_TRUE(plain.spans().empty());
+  const std::vector<obs::SpanRecord> spans = instrumented.spans().rows();
+  ASSERT_FALSE(spans.empty());
+  std::size_t roots = 0;
+  for (const obs::SpanRecord& s : spans)
+    if (s.parent < 0) {
+      EXPECT_EQ(s.name, "serve.request");
+      EXPECT_GT(s.track, 0u);
+      ++roots;
+    }
+  EXPECT_EQ(roots, batch.size());
 }
 
 TEST(BatchService, ArenasAreReusedAcrossBatchesNotGrown)  {
