@@ -120,9 +120,14 @@ class BenchJson {
     w_.begin_object();
     w_.kv("bench", bench_id);
     // Provenance stamp: results files are kept across PRs, so every line
-    // records what produced it (library version, resolved SIMD dispatch,
-    // harness threads) — the trajectory stays self-describing.
+    // records what produced it (library version, git commit, resolved SIMD
+    // dispatch, harness threads) — the trajectory stays self-describing.
     w_.kv("version", version());
+#ifdef BNLOC_GIT_SHA
+    w_.kv("git_sha", BNLOC_GIT_SHA);
+#else
+    w_.kv("git_sha", "unknown");
+#endif
     w_.kv("simd", simd::active_name());
     w_.kv("nodes", static_cast<std::uint64_t>(bc.nodes));
     w_.kv("trials", static_cast<std::uint64_t>(bc.trials));

@@ -118,6 +118,10 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
 
   std::vector<Gaussian2> staged = belief;
   std::vector<std::optional<Vec2>> traced_estimates;  // tracing only
+  // Work counter: range factors folded into an information accumulator —
+  // this engine's unit of useful work, the analogue of grid.cell_visits
+  // (the engine is serial, so a plain accumulator is thread-safe).
+  std::uint64_t factor_visits = 0;
   obs::PhaseTimer rounds_timer("gauss.rounds");
   std::size_t iter = 0;
   for (; iter < config_.iteration.max_iterations; ++iter) {
@@ -254,6 +258,7 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
           }
         }
         acc.add_range(src, belief[i].mean, nb.weight, sigma);
+        ++factor_visits;
       }
       Gaussian2 post = acc.posterior();
       // Damp the mean; keep the fresher covariance.
@@ -306,6 +311,7 @@ LocalizationResult GaussianBncl::localize(const Scenario& scenario,
     }
   }
   rounds_timer.stop();
+  obs::count("gauss.factor_visits", factor_visits);
   obs::count(result.converged ? "gauss.converged" : "gauss.maxed_out");
 
   for (std::size_t i = 0; i < n; ++i) {

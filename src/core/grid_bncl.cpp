@@ -10,6 +10,7 @@
 #include "inference/kernel_cache.hpp"
 #include "inference/pyramid.hpp"
 #include "inference/range_kernel.hpp"
+#include "inference/scheduler.hpp"
 #include "net/summary_channel.hpp"
 #include "net/sync_radio.hpp"
 #include "obs/telemetry.hpp"
@@ -33,6 +34,15 @@ GridBncl::GridBncl(GridBnclConfig config) : config_(std::move(config)) {
   BNLOC_ASSERT(config_.robustness.update_quorum >= 0.0 &&
                    config_.robustness.update_quorum <= 1.0,
                "update quorum must be a fraction");
+  if (config_.sched.policy == SchedulePolicy::residual) {
+    BNLOC_ASSERT(config_.schedule == UpdateSchedule::jacobi,
+                 "residual scheduling requires the Jacobi schedule "
+                 "(Gauss-Seidel re-versions summaries mid-round, so a "
+                 "pre-round scan cannot rank them)");
+    BNLOC_ASSERT(config_.reuse_messages,
+                 "residual scheduling requires reuse_messages: a deferred "
+                 "link replays its cached message");
+  }
 }
 
 std::string GridBncl::name() const {
@@ -40,6 +50,7 @@ std::string GridBncl::name() const {
       config_.use_negative_evidence ? "bncl-grid" : "bncl-grid-noneg";
   if (config_.robustness.robust_likelihood) name += "-robust";
   if (config_.transport.async) name += "-async";
+  if (config_.sched.policy == SchedulePolicy::residual) name += "-sched";
   return name;
 }
 
@@ -189,6 +200,32 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
   std::vector<std::uint64_t> cur_ver(n, 0), prev_ver(n, 0);
   std::uint64_t pub_seq = 0;
   std::vector<unsigned char> ever_published(n, 0);
+
+  // --- Residual-prioritized scheduling (ROADMAP item 1) -------------------
+  // Sender-side residual accounting, exact and transport-agnostic: every
+  // publish appends the sender's running residual total (the TV its belief
+  // moved since the previous publish, accumulated over its lifetime) to
+  // `ver_accum`, indexed by the global publish version. A receiver records
+  // the accumulator value of the version it last integrated per slot
+  // (`seen_accum`); the pending residual of a changed link is then
+  // ver_accum[new] - seen_accum[slot] — the sum of every publish the
+  // receiver has not folded in yet, even when the async transport skipped
+  // intermediate versions. All three arrays persist across pyramid levels
+  // (versions do too).
+  const bool sched_enabled =
+      config_.sched.policy == SchedulePolicy::residual;
+  std::vector<double> pub_residual(sched_enabled ? n : 0, 0.0);
+  std::vector<double> node_res_accum(sched_enabled ? n : 0, 0.0);
+  std::vector<double> ver_accum;
+  std::vector<double> seen_accum(
+      sched_enabled ? n_links + n_nonlinks : 0, 0.0);
+  std::optional<ResidualScheduler> sched;
+  std::vector<std::uint32_t> sched_cand_scratch;
+  if (sched_enabled) {
+    ver_accum.reserve(4 * n);
+    ver_accum.push_back(0.0);  // version 0 = never published
+    sched.emplace(config_.sched, n_links + n_nonlinks);
+  }
 
   // Transport. Both radios draw from the same substream salt, so a config
   // differing only in `transport.async` compares the same scenario under
@@ -484,6 +521,14 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       msg_skip.assign(n_links + n_nonlinks, 0);
     }
 
+    // Residual scheduling needs the message cache to replay deferred links
+    // from; when the memory budget degraded `reuse` above, the scheduler
+    // degrades with it — every changed link processes, still correct. A
+    // level switch wipes the deferral debt: the per-level caches restart,
+    // so every slot's first integration at this resolution must process.
+    const bool sched_active = sched_enabled && reuse;
+    if (sched_enabled) sched->reset_level();
+
     // Whole-product reuse: a node whose *every* input is unchanged since
     // its last recompute (same summary versions, same delivery/TTL
     // outcomes) would rebuild the exact same pre-damping message product —
@@ -591,6 +636,25 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         cur_ver[r] = 0;
         prev_ver[r] = 0;
         if (reuse_products) have_product[r] = 0;
+        // Residual policy: a fresh boot owes nothing and is owed nothing —
+        // its input signatures reset to "never integrated", so every slot
+        // counts as first-heard (always processed, never a deferral
+        // candidate) until the rebuilt belief has integrated each neighbor
+        // once. Guarded so round_robin runs keep the historical state
+        // untouched bit for bit.
+        if (sched_active) {
+          for (std::size_t s = kernel_offset[r]; s < kernel_offset[r + 1];
+               ++s) {
+            in_sig[s] = kSigTtlSkip - 1;
+            sched->reset_slot(s);
+          }
+          if (config_.use_negative_evidence)
+            for (std::size_t s = n_links + nl_offset[r];
+                 s < n_links + nl_offset[r + 1]; ++s) {
+              in_sig[s] = kSigTtlSkip - 1;
+              sched->reset_slot(s);
+            }
+        }
         if (!last_heard.empty())
           for (std::size_t s = kernel_offset[r]; s < kernel_offset[r + 1];
                ++s)
@@ -641,10 +705,23 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
         // either way a quiet node does not publish. All three dense steps
         // (TV gate, sparsify, last-published copy) stay inside the node's
         // ROI — both buffers are zero outside it.
-        if (ever_published[u] && !always_publish && !force_heartbeat &&
-            beliefops::total_variation_in(belief[u], last_pub_dense[u], side,
-                                          roi[u]) <= config_.rebroadcast_tol)
-          return;
+        if (ever_published[u] && !always_publish && !force_heartbeat) {
+          const double tv = beliefops::total_variation_in(
+              belief[u], last_pub_dense[u], side, roi[u]);
+          if (tv <= config_.rebroadcast_tol) return;
+          if (sched_enabled) pub_residual[u] = tv;
+        } else if (sched_enabled) {
+          // Residual of a forced or first publish: the TV against the last
+          // published copy when one exists, else full mass — a first
+          // announcement is maximally newsworthy, so receivers never defer
+          // their bootstrap.
+          pub_residual[u] =
+              ever_published[u]
+                  ? beliefops::total_variation_in(belief[u],
+                                                  last_pub_dense[u], side,
+                                                  roi[u])
+                  : 1.0;
+        }
         beliefops::sparsify_in(belief[u], side, roi[u], config_.support_mass,
                                pub_cap, pub_candidate[u],
                                oscratch);
@@ -679,6 +756,12 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           cur_pub[u] = std::move(pub_candidate[u]);
           cur_ver[u] = ver;
           ever_published[u] = 1;
+          if (sched_enabled) {
+            // ver_accum is indexed by the global publish version, so the
+            // serial commit order keeps it aligned with pub_seq exactly.
+            node_res_accum[u] += pub_residual[u];
+            ver_accum.push_back(node_res_accum[u]);
+          }
           if (async) {
             channel->publish(u, ver, cur_pub[u], cur_pub[u].payload_bytes());
             if (heartbeat > 0) last_pub_round[u] = iter + 1;
@@ -686,6 +769,95 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
             sync_radio->record_broadcast(u, cur_pub[u].payload_bytes());
           }
         }
+      }
+
+      // Scan phase (residual policy): rank this round's changed links by
+      // pending residual and defer everything below the budget. Serial, in
+      // node order, over pure per-round reads (delivery flags are stable
+      // within a round; the channel getters are const), so the decision
+      // bitmap — the only thing the parallel update phase sees — is a pure
+      // function of the round's inputs: bit-identical at any thread count,
+      // and identical under async replay.
+      //
+      // The priority is *receiver-coherent*: every changed link of a
+      // receiver carries the receiver's total pending residual (the sum,
+      // over its changed links, of sender residual it has not integrated).
+      // SPAWN rebuilds the whole product the moment any one input changes,
+      // so the engine's cost unit is the receiver's rebuild, not the link:
+      // granting one link of a receiver forces the full rebuild anyway,
+      // while deferring all of them collapses the receiver to the
+      // whole-product fast path — the node-granular flavor of residual
+      // scheduling (residual-splash BP), expressed through the per-link
+      // queue. Equal priorities sort adjacently (ties broken on node, then
+      // slot), so the budget cut lands on receiver boundaries.
+      //
+      // Only changed links whose old and new signatures are both real
+      // versions are deferral-eligible; first-heard summaries, TTL
+      // retirements, revivals, and silence transitions always process
+      // (they are exactly the transitions where a stale replay would be
+      // wrong or impossible). A receiver holding any such transition
+      // rebuilds this round regardless, so its other changed links are
+      // granted too rather than pointlessly deferred.
+      if (sched_active) {
+        const obs::Span sched_span("grid.sched");
+        const std::size_t scan_ttl = config_.robustness.stale_ttl;
+        sched->begin_round();
+        double pending_sum = 0.0;
+        bool force_rebuild = false;
+        const auto classify = [&](std::size_t slot, std::uint64_t sig) {
+          const std::uint64_t old = in_sig[slot];
+          if (sig == old) return;  // quiet link: costs nothing either way
+          if (sig == 0 || sig == kSigTtlSkip || old == 0 ||
+              old >= kSigTtlSkip - 1) {
+            force_rebuild = true;
+            return;
+          }
+          pending_sum += ver_accum[sig] - seen_accum[slot];
+          sched_cand_scratch.push_back(static_cast<std::uint32_t>(slot));
+        };
+        for (std::size_t i = 0; i < n; ++i) {
+          if (acts_anchor[i] || radio_crashed(i)) continue;
+          sched_cand_scratch.clear();
+          pending_sum = 0.0;
+          force_rebuild = false;
+          const auto nbs = scenario.graph.neighbors(i);
+          for (std::size_t k = 0; k < nbs.size(); ++k) {
+            const std::size_t slot = kernel_offset[i] + k;
+            std::uint64_t sig;
+            if (async) {
+              sig = channel->version(slot);
+              if (sig != 0 && scan_ttl > 0 &&
+                  iter + 1 - channel->heard_round(slot) > scan_ttl)
+                sig = kSigTtlSkip;
+            } else {
+              const bool fresh = sync_radio->delivered(nbs[k].node, i);
+              sig = fresh ? cur_ver[nbs[k].node] : prev_ver[nbs[k].node];
+              if (scan_ttl > 0) {
+                const std::size_t heard = fresh ? iter + 1 : last_heard[slot];
+                if (iter + 1 - heard > scan_ttl) sig = kSigTtlSkip;
+              }
+            }
+            classify(slot, sig);
+          }
+          if (config_.use_negative_evidence) {
+            const auto& nls = nonlinks[i];
+            for (std::size_t k = 0; k < nls.size(); ++k) {
+              std::uint64_t sig = cur_ver[nls[k]];
+              if (scan_ttl > 0 && radio_crashed(nls[k])) sig = kSigTtlSkip;
+              classify(n_links + nl_offset[i] + k, sig);
+            }
+          }
+          if (!force_rebuild)
+            for (const std::uint32_t slot : sched_cand_scratch)
+              sched->add_candidate(static_cast<std::uint32_t>(i), slot,
+                                   pending_sum);
+        }
+        sched->commit_round();
+        const ScheduleRoundStats& st = sched->round_stats();
+        obs::count("sched.links_processed", st.processed);
+        obs::count("sched.links_deferred", st.deferred);
+        if (st.promotions)
+          obs::count("sched.starvation_promotions", st.promotions);
       }
 
       // Update phase: rebuild each unknown's belief from its prior and the
@@ -811,9 +983,19 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
                   sig = kSigTtlSkip;
               }
             }
+            // A deferred slot holds its old signature — the cached message
+            // keeps contributing and the slot stays a scheduling candidate
+            // until the budget (or the starvation floor) lets the new
+            // version in. The sync TTL bookkeeping above already ran:
+            // quiet-by-deferral still counts as heard.
+            if (sched_active && sched->deferred(slot)) continue;
             if (in_sig[slot] != sig) {
               in_sig[slot] = sig;
               static_inputs = false;
+              // Folding a real version here is the moment of integration
+              // the pending-residual accounting keys on.
+              if (sched_enabled && sig != 0 && sig < kSigTtlSkip - 1)
+                seen_accum[slot] = ver_accum[sig];
             }
           }
           if (config_.use_negative_evidence) {
@@ -826,9 +1008,12 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
               // matters when the TTL retires frozen summaries.
               std::uint64_t sig = cur_ver[far];
               if (ttl > 0 && radio_crashed(far)) sig = kSigTtlSkip;
+              if (sched_active && sched->deferred(slot)) continue;
               if (in_sig[slot] != sig) {
                 in_sig[slot] = sig;
                 static_inputs = false;
+                if (sched_enabled && sig != 0 && sig < kSigTtlSkip - 1)
+                  seen_accum[slot] = ver_accum[sig];
               }
             }
           }
@@ -853,6 +1038,22 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           // presumed dead and its stale summary decays out of the product.
           if (!async && ttl > 0 && sync_radio->delivered(nbs[k].node, i))
             last_heard[slot] = iter + 1;
+          // Deferred link: replay the message of the last-integrated
+          // version (bit-identical to the round it was computed in) and
+          // skip the kernel correlation the new summary would cost. The
+          // cached buffer is that message exactly when its version matches
+          // the held signature; otherwise the last integration contributed
+          // nothing (never heard, or retired) and neither does the replay.
+          if (sched_active && sched->deferred(slot)) {
+            if (msg_ver[slot] != 0 && msg_ver[slot] == in_sig[slot] &&
+                !msg_skip[slot]) {
+              ++node_msgs_reused[i];
+              node_cell_visits[i] += box_cells;
+              beliefops::multiply_in(next, (*msg_store)[slot],
+                                     config_.message_floor, side, box);
+            }
+            continue;
+          }
           const auto [src_ptr, ver] = slot_input(k, slot);
           if (src_ptr == nullptr) continue;
           const SparseBelief& src = *src_ptr;
@@ -900,6 +1101,22 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
           const auto& nls = nonlinks[i];
           for (std::size_t k = 0; k < nls.size(); ++k) {
             const std::size_t far = nls[k];
+            // Deferred non-link: same replay contract as a deferred link.
+            // (Non-link slots have no msg_skip — a version that failed the
+            // coverage gate never updated msg_ver, so the match below
+            // already implies the cached buffer is a real contribution.)
+            if (sched_active) {
+              const std::size_t dslot = n_links + nl_offset[i] + k;
+              if (sched->deferred(dslot)) {
+                if (msg_ver[dslot] != 0 && msg_ver[dslot] == in_sig[dslot]) {
+                  ++node_msgs_reused[i];
+                  node_cell_visits[i] += box_cells;
+                  beliefops::multiply_in(next, (*msg_store)[dslot],
+                                         config_.message_floor, side, box);
+                }
+                continue;
+              }
+            }
             // With a TTL active, a dead node's frozen summary stops being
             // usable as non-link evidence as well. (Both transports read
             // cur_pub[far] here — two-hop summaries are not on the radio at
@@ -1055,7 +1272,14 @@ LocalizationResult GridBncl::localize(const Scenario& scenario,
       // Converged at this resolution: the finest level ends the run; a
       // coarse level just hands over to the next rung early. A round with
       // quorum holds never counts: held nodes report no change precisely
-      // because the network is too degraded to update them.
+      // because the network is too degraded to update them. Deferred
+      // links do NOT block convergence: near the tolerance the damping
+      // tail keeps beliefs republishing hairline deltas for many rounds,
+      // and round_robin itself terminates with that round's publishes
+      // unintegrated — the residual policy's terminal backlog is the
+      // bottom-residual slice of the same trickle (everything above the
+      // budget cut was integrated, and the starvation floor bounded every
+      // link's lag during the run).
       if (mean_change < config_.iteration.convergence_tol &&
           level_round >= 2 && quorum_held == 0) {
         if (finest) result.converged = true;

@@ -116,6 +116,23 @@ struct GridBnclConfig {
   /// `transport.radio.loss` (per *attempt*, not per round).
   TransportConfig transport;
 
+  /// Message scheduling policy (ROADMAP item 1); see core/engine_config.hpp
+  /// and inference/scheduler.hpp. `round_robin` (default) processes every
+  /// changed link every round — bit-identical to every prior run. With
+  /// `residual` the engine adds a serial scan phase between publish and
+  /// update that ranks the round's changed links by pending residual —
+  /// receiver-coherently: each link carries its receiver's total
+  /// unintegrated publish residual, so budget cuts land on receiver
+  /// boundaries and whole receivers collapse to the product fast path —
+  /// and defers everything below `sched.link_budget_frac`; deferred links
+  /// replay their
+  /// cached message until the budget — or the `sched.starvation_rounds`
+  /// floor — lets the new summary in. Requires Jacobi + `reuse_messages`;
+  /// rides both transports; deterministic at any thread count (the scan is
+  /// serial, the update phase only reads the decision bitmap). Named config
+  /// `sched` because `schedule` above already names the sweep order.
+  ScheduleConfig sched;
+
   // --- Fast-path controls (PR4). All bit-identity-preserving: they change
   // --- wall-clock and memory only, never a single output bit. ------------
   /// Memoize annulus kernels on the exact measured distance and share them

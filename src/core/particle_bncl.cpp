@@ -134,6 +134,10 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
   std::vector<double> weights(k_particles);
   std::vector<std::optional<Vec2>> traced_estimates;  // tracing only
   setup_timer.stop();
+  // Work counter: particle-times-cloud-point likelihood evaluations in the
+  // reweight pass — this engine's unit of useful work, the analogue of
+  // grid.cell_visits (the engine is serial, so a plain accumulator works).
+  std::uint64_t weight_evals = 0;
   obs::PhaseTimer rounds_timer("particle.rounds");
   std::size_t iter = 0;
   for (; iter < config_.iteration.max_iterations; ++iter) {
@@ -306,6 +310,7 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
           double msg = 0.0;
           for (const Vec2& y : *cloud)
             msg += ranging.likelihood(nbs[kk].weight, distance(pts[p], y));
+          weight_evals += cloud->size();
           msg /= static_cast<double>(cloud->size());
           // Floor keeps one conflicting link from zeroing the particle.
           w *= msg + 1e-6;
@@ -361,6 +366,7 @@ LocalizationResult ParticleBncl::localize(const Scenario& scenario,
     }
   }
   rounds_timer.stop();
+  obs::count("particle.weight_evals", weight_evals);
   obs::count(result.converged ? "particle.converged" : "particle.maxed_out");
 
   for (std::size_t i = 0; i < n; ++i) {

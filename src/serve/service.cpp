@@ -166,6 +166,7 @@ std::vector<ServeResponse> BatchService::run_batch(
         std::max(tenant.stats.result_bytes_peak, tenant.batch_result_bytes);
     tenant.stats.arena_high_water =
         std::max(tenant.stats.arena_high_water, tenant.arena.stats().high_water);
+    tenant.stats.arena_bytes_reserved = tenant.arena.stats().bytes_reserved;
     if (sink) sink(response, line);
   };
 

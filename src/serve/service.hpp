@@ -83,8 +83,15 @@ struct TenantStats {
   /// Summed service-side request latency (wall-clock).
   double total_seconds = 0.0;
   /// Arena high-water: peak bytes of response payload held for this tenant
-  /// within one batch — the "memory per tenant" metric.
+  /// within one batch — the "memory per tenant" metric. Jitters by a few
+  /// bytes across identical batches (response JSON embeds wall-clock
+  /// timings whose formatted length varies); `arena_bytes_reserved` is the
+  /// stable growth signal.
   std::size_t arena_high_water = 0;
+  /// Summed capacity of the arena's chunks. Steady-state batches reuse the
+  /// reset chunks, so this staying flat across batches means the arena is
+  /// being reused, not grown.
+  std::size_t arena_bytes_reserved = 0;
   /// Estimated peak per-batch footprint of this tenant's decoded results
   /// (estimate/covariance vectors; excludes engine-internal scratch).
   std::size_t result_bytes_peak = 0;

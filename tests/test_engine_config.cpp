@@ -105,6 +105,12 @@ TEST(EngineConfig, EngineNamesArePinned) {
   GaussianBnclConfig ga;
   ga.robustness.robust_likelihood = true;
   EXPECT_EQ(GaussianBncl(ga).name(), "bncl-gauss-robust");
+
+  GridBnclConfig gs;
+  gs.sched.policy = SchedulePolicy::residual;
+  EXPECT_EQ(GridBncl(gs).name(), "bncl-grid-sched");
+  gs.transport.async = true;
+  EXPECT_EQ(GridBncl(gs).name(), "bncl-grid-async-sched");
 }
 
 TEST(EngineConfig, SharedDefaultsAreNeutral) {

@@ -1,0 +1,276 @@
+// Residual-prioritized message scheduling (ROADMAP item 1): unit tests for
+// the scheduler's ranking/budget/starvation mechanics, plus integration
+// tests pinning the grid engine's contracts under the residual policy —
+// bit-identical replay at any thread count (sync and async), accuracy
+// parity with round-robin under the PR 1 fault specs, and the interaction
+// with the robustness ladder (deferral is engine-internal bookkeeping, so
+// a quiet-by-deferral link must never trip stale-TTL or a quorum hold).
+#include "inference/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/grid_bncl.hpp"
+#include "eval/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace bnloc {
+namespace {
+
+ScheduleConfig sched_config(double frac, std::size_t starvation) {
+  ScheduleConfig sc;
+  sc.policy = SchedulePolicy::residual;
+  sc.link_budget_frac = frac;
+  sc.starvation_rounds = starvation;
+  return sc;
+}
+
+// --- Scheduler mechanics --------------------------------------------------
+
+TEST(ResidualScheduler, BudgetIsACeilingWithAtLeastOneGrant) {
+  ResidualScheduler s(sched_config(0.5, 4), 16);
+  s.begin_round();
+  for (std::uint32_t k = 0; k < 5; ++k) s.add_candidate(0, k, 1.0);
+  s.commit_round();
+  // ceil(0.5 * 5) = 3 grants, 2 deferrals.
+  EXPECT_EQ(s.round_stats().processed, 3u);
+  EXPECT_EQ(s.round_stats().deferred, 2u);
+
+  // A lone candidate is always granted, however tight the budget.
+  ResidualScheduler tight(sched_config(0.05, 4), 16);
+  tight.begin_round();
+  tight.add_candidate(0, 3, 1e-9);
+  tight.commit_round();
+  EXPECT_FALSE(tight.deferred(3));
+  EXPECT_EQ(tight.round_stats().processed, 1u);
+}
+
+TEST(ResidualScheduler, HighestResidualWinsRegardlessOfScanOrder) {
+  ResidualScheduler s(sched_config(0.34, 4), 16);  // 3 candidates -> budget 2
+  s.begin_round();
+  s.add_candidate(0, 0, 0.2);  // scan order must not matter
+  s.add_candidate(1, 1, 0.9);
+  s.add_candidate(2, 2, 0.5);
+  s.commit_round();
+  EXPECT_TRUE(s.deferred(0));
+  EXPECT_FALSE(s.deferred(1));
+  EXPECT_FALSE(s.deferred(2));
+}
+
+TEST(ResidualScheduler, TiesBreakOnNodeThenSlot) {
+  // Equal residuals: the total order falls back to (node asc, slot asc), so
+  // the grant set is a pure function of the candidates — no float-tie
+  // nondeterminism.
+  ResidualScheduler s(sched_config(0.25, 4), 16);  // 4 candidates -> budget 1
+  s.begin_round();
+  s.add_candidate(7, 11, 0.5);
+  s.add_candidate(3, 9, 0.5);
+  s.add_candidate(3, 4, 0.5);
+  s.add_candidate(9, 1, 0.5);
+  s.commit_round();
+  EXPECT_FALSE(s.deferred(4));  // node 3, slot 4 ranks first
+  EXPECT_TRUE(s.deferred(9));
+  EXPECT_TRUE(s.deferred(11));
+  EXPECT_TRUE(s.deferred(1));
+}
+
+TEST(ResidualScheduler, StarvationFloorBoundsConsecutiveDeferrals) {
+  // Two candidates, budget 1: the low-residual slot loses every round until
+  // the floor promotes it. With starvation_rounds = 2 it may be deferred in
+  // exactly two consecutive rounds, then must be granted.
+  ResidualScheduler s(sched_config(0.5, 2), 16);
+  for (int round = 0; round < 2; ++round) {
+    s.begin_round();
+    s.add_candidate(0, 0, 0.9);
+    s.add_candidate(1, 1, 0.1);
+    s.commit_round();
+    EXPECT_FALSE(s.deferred(0));
+    EXPECT_TRUE(s.deferred(1)) << "round " << round;
+    EXPECT_EQ(s.round_stats().promotions, 0u);
+  }
+  s.begin_round();
+  s.add_candidate(0, 0, 0.9);
+  s.add_candidate(1, 1, 0.1);
+  s.commit_round();
+  EXPECT_FALSE(s.deferred(1)) << "floor exhausted: must be promoted";
+  EXPECT_EQ(s.round_stats().promotions, 1u);
+  EXPECT_EQ(s.round_stats().processed, 2u);
+  EXPECT_EQ(s.round_stats().deferred, 0u);
+
+  // The grant reset the streak: the next deferral cycle starts from zero.
+  s.begin_round();
+  s.add_candidate(0, 0, 0.9);
+  s.add_candidate(1, 1, 0.1);
+  s.commit_round();
+  EXPECT_TRUE(s.deferred(1));
+  EXPECT_EQ(s.round_stats().promotions, 0u);
+}
+
+TEST(ResidualScheduler, BeginRoundClearsLastRoundsDeferrals) {
+  ResidualScheduler s(sched_config(0.5, 4), 16);
+  s.begin_round();
+  s.add_candidate(0, 0, 0.9);
+  s.add_candidate(1, 1, 0.1);
+  s.commit_round();
+  ASSERT_TRUE(s.deferred(1));
+  // Slot 1's sender went quiet: it is not a candidate this round, and the
+  // stale defer bit must not leak into the new round's decisions.
+  s.begin_round();
+  s.commit_round();
+  EXPECT_FALSE(s.deferred(1));
+  EXPECT_EQ(s.round_stats().deferred, 0u);
+}
+
+TEST(ResidualScheduler, ResetSlotClearsStarvationDebt) {
+  ResidualScheduler s(sched_config(0.5, 3), 16);
+  for (int round = 0; round < 2; ++round) {
+    s.begin_round();
+    s.add_candidate(0, 0, 0.9);
+    s.add_candidate(1, 1, 0.1);
+    s.commit_round();
+    ASSERT_TRUE(s.deferred(1));
+  }
+  s.reset_slot(1);  // receiver rebooted: its schedule state is gone
+  // The full floor applies again — three more deferrals before promotion.
+  for (int round = 0; round < 3; ++round) {
+    s.begin_round();
+    s.add_candidate(0, 0, 0.9);
+    s.add_candidate(1, 1, 0.1);
+    s.commit_round();
+    EXPECT_TRUE(s.deferred(1)) << "round " << round;
+    EXPECT_EQ(s.round_stats().promotions, 0u);
+  }
+  s.begin_round();
+  s.add_candidate(0, 0, 0.9);
+  s.add_candidate(1, 1, 0.1);
+  s.commit_round();
+  EXPECT_FALSE(s.deferred(1));
+  EXPECT_EQ(s.round_stats().promotions, 1u);
+}
+
+// --- Grid-engine integration ----------------------------------------------
+
+ScenarioConfig scenario_config(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.node_count = 120;
+  cfg.anchor_fraction = 0.12;
+  cfg.deployment.kind = DeploymentKind::grid_jitter;
+  cfg.prior_quality = PriorQuality::exact;
+  cfg.seed = seed;
+  return cfg;
+}
+
+GridBnclConfig residual_config() {
+  GridBnclConfig gc;
+  gc.sched.policy = SchedulePolicy::residual;
+  return gc;
+}
+
+void expect_identical_runs(const LocalizationResult& a,
+                           const LocalizationResult& b) {
+  ASSERT_EQ(a.estimates.size(), b.estimates.size());
+  for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+    ASSERT_EQ(a.estimates[i].has_value(), b.estimates[i].has_value());
+    if (a.estimates[i]) {
+      EXPECT_EQ(a.estimates[i]->x, b.estimates[i]->x);
+      EXPECT_EQ(a.estimates[i]->y, b.estimates[i]->y);
+    }
+  }
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.change_per_iteration, b.change_per_iteration);
+}
+
+TEST(GridBnclSched, ResidualPolicyIsBitIdenticalAcrossThreads) {
+  // The schedule is decided by a serial scan over per-round pure reads and
+  // published as a bitmap the parallel update only reads — so any thread
+  // count must reproduce the serial run exactly, deferrals and all.
+  const Scenario s = build_scenario(scenario_config(61));
+  GridBnclConfig serial_cfg = residual_config();
+  GridBnclConfig par_cfg = residual_config();
+  par_cfg.threads = 4;
+  Rng r1(7), r2(7);
+  const auto a = GridBncl(serial_cfg).localize(s, r1);
+  const auto b = GridBncl(par_cfg).localize(s, r2);
+  expect_identical_runs(a, b);
+}
+
+TEST(GridBnclSched, AsyncReplayIsBitIdenticalAcrossThreads) {
+  // Under the async transport the contract is sharper: the thread count
+  // must not change which packets exist or their order — the event-history
+  // hashes of the two runs must match, not just the estimates.
+  const Scenario s = build_scenario(scenario_config(62));
+  GridBnclConfig gc = residual_config();
+  gc.transport.async = true;
+  gc.transport.radio.loss = 0.1;
+  gc.transport.radio.latency = 0.25;
+  GridBnclConfig gc4 = gc;
+  gc4.threads = 4;
+  Rng r1(11), r2(11);
+  const auto a = GridBncl(gc).localize(s, r1);
+  const auto b = GridBncl(gc4).localize(s, r2);
+  ASSERT_NE(a.transport_hash, 0u);
+  EXPECT_EQ(a.transport_hash, b.transport_hash);
+  expect_identical_runs(a, b);
+}
+
+TEST(GridBnclSched, FaultedAccuracyStaysAtParityWithRoundRobin) {
+  // The PR 1 fault specs (NLOS outliers + crashes) with the robust ladder
+  // armed: deferring low-residual links must not degrade the posterior —
+  // the deferred tail is by construction the part that barely moves it.
+  ScenarioConfig scfg = scenario_config(63);
+  scfg.faults.outlier_fraction = 0.1;
+  scfg.faults.crash_fraction = 0.15;
+  const Scenario s = build_scenario(scfg);
+
+  GridBnclConfig rr;
+  rr.robustness.robust_likelihood = true;
+  rr.robustness.stale_ttl = 3;
+  GridBnclConfig rs = rr;
+  rs.sched.policy = SchedulePolicy::residual;
+  Rng r1(5), r2(5);
+  const double rr_mean =
+      evaluate(s, GridBncl(rr).localize(s, r1)).summary.mean;
+  const double rs_mean =
+      evaluate(s, GridBncl(rs).localize(s, r2)).summary.mean;
+  EXPECT_LT(rs_mean, 0.6);
+  // Single-seed parity band: well inside the spread between seeds, far
+  // tighter than any real regression (the P4 bench gates the mean at 1%
+  // over aggregated trials; one seed needs slack for legitimate
+  // iteration-count differences).
+  EXPECT_LT(rs_mean, rr_mean * 1.15 + 0.02);
+}
+
+TEST(GridBnclSched, DeferralDoesNotTripStaleTtlOrQuorum) {
+  // A deferred link is *engine-internal* lateness: the summary arrived, the
+  // receiver just chose to integrate it later. The robustness ladder's
+  // staleness bookkeeping (last_heard) must therefore keep ticking for
+  // deferred links — with a tight budget, a short TTL, and a quorum gate
+  // armed, runs must still localize everyone. If deferral counted as
+  // silence, the TTL would decay live links out of the posterior and the
+  // quorum gate would hold nodes indefinitely.
+  const Scenario s = build_scenario(scenario_config(64));
+  GridBnclConfig gc = residual_config();
+  gc.sched.link_budget_frac = 0.15;  // defer aggressively
+  gc.sched.starvation_rounds = 6;
+  gc.robustness.stale_ttl = 2;  // shorter than the starvation floor
+  gc.robustness.update_quorum = 0.5;
+
+  obs::Telemetry sink;
+  LocalizationResult r;
+  {
+    const obs::TelemetryScope scope(&sink);
+    Rng rng(3);
+    r = GridBncl(gc).localize(s, rng);
+  }
+  // The schedule actually deferred (the test is vacuous otherwise)...
+  EXPECT_GT(sink.registry.counter("sched.links_deferred"), 0u);
+  EXPECT_GT(sink.registry.counter("sched.links_processed"), 0u);
+  // ...and nothing decayed or deadlocked: full coverage, sane accuracy.
+  const ErrorReport report = evaluate(s, r);
+  EXPECT_DOUBLE_EQ(report.coverage, 1.0);
+  EXPECT_LT(report.summary.mean, 0.5);
+}
+
+}  // namespace
+}  // namespace bnloc

@@ -445,7 +445,11 @@ TEST(BatchService, ArenasAreReusedAcrossBatchesNotGrown)  {
   const auto after_first = service.tenants().at(0);
   (void)service.run_batch(batch);  // identical load: no new chunks needed
   const auto after_second = service.tenants().at(0);
-  EXPECT_EQ(after_second.arena_high_water, after_first.arena_high_water);
+  // Reserved capacity is the growth signal; high_water jitters by a few
+  // bytes across identical batches because the stored response JSON embeds
+  // wall-clock timings of varying formatted length.
+  EXPECT_GT(after_first.arena_high_water, 0u);
+  EXPECT_EQ(after_second.arena_bytes_reserved, after_first.arena_bytes_reserved);
   EXPECT_EQ(after_second.requests, 4u);
 }
 
